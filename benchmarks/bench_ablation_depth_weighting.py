@@ -1,0 +1,64 @@
+"""Ablation: flat versus perceptual quantization for the depth stream.
+
+DESIGN.md calls out the choice of *flat* frequency weighting for depth:
+perceptual codecs quantize high frequencies coarsely because human
+vision tolerates it in color, but depth discontinuities ARE
+high-frequency content and carry geometry.  This ablation encodes the
+depth stream both ways at equal rate and scores the reconstructed
+geometry.
+"""
+
+import numpy as np
+
+from conftest import write_result
+from _sender_lab import make_workload
+from repro.codec.video import VideoCodecConfig, VideoEncoder
+from repro.depthcodec.scaling import scale_depth, unscale_depth
+from repro.tiling.tiler import TileLayout, Tiler
+
+TARGET_BYTES = 10_000
+NUM_FRAMES = 6
+
+
+def test_ablation_depth_quant_weighting(benchmark, results_dir):
+    rig, frames, _ = make_workload("band2", num_frames=NUM_FRAMES)
+    intrinsics = rig.cameras[0].intrinsics
+    layout = TileLayout.for_cameras(len(rig.cameras), intrinsics.height, intrinsics.width)
+    tiler = Tiler(layout, is_color=False)
+    tile_rows = layout.rows * layout.tile_height
+
+    def run(weight_strength: float) -> float:
+        config = VideoCodecConfig.for_depth(
+            gop_size=NUM_FRAMES, weight_strength=weight_strength
+        )
+        encoder = VideoEncoder(config)
+        error = 0.0
+        for frame in frames:
+            scaled = [scale_depth(v.depth_mm) for v in frame.views]
+            tiled = tiler.compose(scaled, frame.sequence)
+            _, recon = encoder.encode_to_target(tiled, TARGET_BYTES)
+            truth_mm = unscale_depth(tiled[:tile_rows])
+            recon_mm = unscale_depth(recon[:tile_rows])
+            valid = truth_mm > 0
+            error = float(
+                np.abs(recon_mm.astype(float) - truth_mm.astype(float))[valid].mean()
+            )
+        return error
+
+    def build():
+        return {
+            "flat (LiVo)": run(0.0),
+            "perceptual x1": run(1.0),
+            "perceptual x2": run(2.0),
+        }
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    lines = [f"{'weighting':14s} {'mean |err| mm':>14s}"]
+    for name, error in rows.items():
+        lines.append(f"{name:14s} {error:14.1f}")
+    write_result("ablation_depth_weighting.txt", "\n".join(lines))
+
+    # Flat quantization preserves geometry best at equal rate, and the
+    # penalty grows with weighting strength.
+    assert rows["flat (LiVo)"] < rows["perceptual x1"]
+    assert rows["perceptual x1"] < rows["perceptual x2"] * 1.05

@@ -1,0 +1,78 @@
+"""Ablation: multi-way fan-out -- unicast vs shared union-culled stream.
+
+The paper leaves multi-way conferencing to future work but points at
+"optimizations across receivers from a single sender" (section 3.1).
+This ablation quantifies that optimization: uplink bytes and encoder
+invocations versus receiver count for the two strategies.
+"""
+
+import numpy as np
+
+from conftest import write_result
+from repro.capture.dataset import load_video
+from repro.capture.rig import default_rig
+from repro.core.config import SessionConfig
+from repro.core.multiway import MultiwaySender
+from repro.prediction.pose import user_traces_for_video
+
+RECEIVER_COUNTS = (1, 2, 4)
+NUM_FRAMES = 8
+TARGET_BPS = 8e6
+
+
+def test_ablation_multiway_fanout(benchmark, results_dir):
+    config = SessionConfig(
+        num_cameras=8, camera_width=64, camera_height=48,
+        scene_sample_budget=20_000, gop_size=8,
+    )
+    _, scene = load_video("band2", sample_budget=20_000)
+    rig = default_rig(num_cameras=8, width=64, height=48)
+    traces = user_traces_for_video("band2", NUM_FRAMES + 10, num_traces=3)
+
+    def run(mode: str, num_receivers: int) -> tuple[float, int]:
+        names = [f"r{i}" for i in range(num_receivers)]
+        sender = MultiwaySender(rig.cameras, config, names, mode=mode)
+        total_bytes = 0
+        encoder_runs = 0
+        for sequence in range(NUM_FRAMES):
+            for index, name in enumerate(names):
+                trace = traces[index % len(traces)]
+                sender.observe_pose(name, trace.pose_at_frame(sequence), sequence / 30.0)
+            frame = rig.capture(scene, sequence)
+            result = sender.process(frame, TARGET_BPS, 0.1)
+            total_bytes += result.total_bytes
+            encoder_runs += result.encoder_runs
+        return total_bytes / NUM_FRAMES, encoder_runs // NUM_FRAMES
+
+    def build():
+        table = {}
+        for count in RECEIVER_COUNTS:
+            table[count] = {
+                "unicast": run("unicast", count),
+                "shared": run("shared", count),
+            }
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    lines = [
+        f"{'receivers':>9s} {'unicast B/frame':>16s} {'enc':>4s} "
+        f"{'shared B/frame':>15s} {'enc':>4s}"
+    ]
+    for count, row in table.items():
+        lines.append(
+            f"{count:9d} {row['unicast'][0]:16.0f} {row['unicast'][1]:4d} "
+            f"{row['shared'][0]:15.0f} {row['shared'][1]:4d}"
+        )
+    write_result("ablation_multiway.txt", "\n".join(lines))
+
+    # Unicast cost grows linearly with receivers; shared stays flat.
+    unicast_growth = table[4]["unicast"][0] / table[1]["unicast"][0]
+    shared_growth = table[4]["shared"][0] / table[1]["shared"][0]
+    assert unicast_growth > 2.5
+    assert shared_growth < 1.8
+    # Shared always uses exactly one encoder pair.
+    for count in RECEIVER_COUNTS:
+        assert table[count]["shared"][1] == 2
+        assert table[count]["unicast"][1] == 2 * count
+    # With several receivers, the shared stream is the cheaper uplink.
+    assert table[4]["shared"][0] < table[4]["unicast"][0]

@@ -1,0 +1,64 @@
+"""Ablation: tiling versus per-camera streams (section 3.2's design call).
+
+The paper argues tiling all cameras into one frame (a) keeps encoder
+count at 2 regardless of camera count (hardware encoders cap parallel
+sessions at ~8) and (b) costs little compression efficiency because
+tiles sit at fixed positions, preserving macroblock locality.  This
+ablation measures both: bytes for one tiled stream versus the sum of N
+independent per-camera streams at the same quality, and the encoder
+session count each needs.
+"""
+
+from conftest import write_result
+from _sender_lab import make_workload
+from repro.codec.video import VideoCodecConfig, VideoEncoder
+from repro.tiling.tiler import TileLayout, Tiler
+
+QP = 28
+NUM_FRAMES = 6
+NVENC_SESSION_LIMIT = 8  # desktop GPUs (section 3.2)
+
+
+def test_ablation_tiling_vs_separate(benchmark, results_dir):
+    rig, frames, _ = make_workload("band2", num_frames=NUM_FRAMES)
+    intrinsics = rig.cameras[0].intrinsics
+    layout = TileLayout.for_cameras(len(rig.cameras), intrinsics.height, intrinsics.width)
+    tiler = Tiler(layout, is_color=True)
+
+    def build():
+        # One tiled stream.
+        tiled_encoder = VideoEncoder(VideoCodecConfig(gop_size=NUM_FRAMES))
+        tiled_bytes = 0
+        for frame in frames:
+            tiled = tiler.compose([v.color for v in frame.views], frame.sequence)
+            encoded, _ = tiled_encoder.encode(tiled, qp=QP)
+            tiled_bytes += encoded.size_bytes
+        # N independent per-camera streams.
+        separate_encoders = [
+            VideoEncoder(VideoCodecConfig(gop_size=NUM_FRAMES))
+            for _ in rig.cameras
+        ]
+        separate_bytes = 0
+        for frame in frames:
+            for view, encoder in zip(frame.views, separate_encoders):
+                encoded, _ = encoder.encode(view.color, qp=QP)
+                separate_bytes += encoded.size_bytes
+        return tiled_bytes, separate_bytes
+
+    tiled_bytes, separate_bytes = benchmark.pedantic(build, rounds=1, iterations=1)
+    num_cameras = len(rig.cameras)
+    lines = [
+        f"cameras: {num_cameras}",
+        f"tiled:    {tiled_bytes:8d} bytes, 2 encoder sessions (color+depth)",
+        f"separate: {separate_bytes:8d} bytes, {2 * num_cameras} encoder sessions",
+        f"size ratio tiled/separate: {tiled_bytes / separate_bytes:.3f}",
+        f"nvenc desktop session limit: {NVENC_SESSION_LIMIT}",
+    ]
+    write_result("ablation_tiling.txt", "\n".join(lines))
+
+    # Tiling costs at most a small overhead (marker strip + edges)...
+    assert tiled_bytes < 1.25 * separate_bytes
+    # ...while separate streams exceed the hardware session limit as
+    # soon as there are more than 4 cameras (the paper's infeasibility
+    # argument).
+    assert 2 * num_cameras > NVENC_SESSION_LIMIT

@@ -1,0 +1,58 @@
+"""Figure 11: stall rates per scheme across videos.
+
+Paper: Draco-Oracle stalls 69.3% on average (37.8% even on dance5);
+LiVo-NoCull 7.9%; LiVo 1.7%.  MeshReduce is omitted (it floats its
+frame rate instead of stalling).  Shape: Draco-Oracle >> LiVo-NoCull
+>= LiVo, and MeshReduce reports zero stalls.
+"""
+
+import numpy as np
+
+from conftest import write_result
+from _grid import cells_for, run_evaluation_grid
+
+STALL_SCHEMES = ("Draco-Oracle", "LiVo-NoCull", "LiVo")
+
+
+def test_fig11_stall_rates(benchmark, results_dir):
+    cells = run_evaluation_grid()
+
+    def build():
+        table = {}
+        for video in ("band2", "dance5", "office1", "pizza1", "toddler4"):
+            table[video] = {
+                scheme: 100.0
+                * float(
+                    np.mean(
+                        [c.stall_rate for c in cells_for(cells, scheme=scheme, video=video)]
+                    )
+                )
+                for scheme in STALL_SCHEMES
+            }
+        aggregate = {
+            scheme: 100.0
+            * float(np.mean([c.stall_rate for c in cells_for(cells, scheme=scheme)]))
+            for scheme in STALL_SCHEMES
+        }
+        return table, aggregate
+
+    table, aggregate = benchmark(build)
+    lines = [f"{'Video':9s} " + " ".join(f"{s:>13s}" for s in STALL_SCHEMES)]
+    for video, row in table.items():
+        lines.append(
+            f"{video:9s} " + " ".join(f"{row[s]:12.1f}%" for s in STALL_SCHEMES)
+        )
+    lines.append(
+        f"{'MEAN':9s} " + " ".join(f"{aggregate[s]:12.1f}%" for s in STALL_SCHEMES)
+    )
+    write_result("fig11_stalls.txt", "\n".join(lines))
+
+    # The ordering the paper reports.
+    assert aggregate["Draco-Oracle"] > aggregate["LiVo-NoCull"]
+    assert aggregate["LiVo-NoCull"] >= aggregate["LiVo"]
+    assert aggregate["Draco-Oracle"] > 20.0  # Draco stalls a lot
+    assert aggregate["LiVo"] < 15.0          # LiVo rarely stalls
+
+    # MeshReduce never stalls by construction.
+    mesh_stalls = [c.stall_rate for c in cells_for(cells, scheme="MeshReduce")]
+    assert max(mesh_stalls) == 0.0

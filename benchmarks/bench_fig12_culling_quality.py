@@ -1,0 +1,41 @@
+"""Figure 12: effect of culling on PSSIM geometry, stalls excluded.
+
+Paper: even without counting stalls, culling buys about 2% PSSIM
+geometry (and ~1% color) -- the saved bandwidth is spent on quality.
+"""
+
+import numpy as np
+
+from conftest import write_result
+from _grid import cells_for, run_evaluation_grid
+
+
+def test_fig12_culling_effect_no_stalls(benchmark, results_dir):
+    cells = run_evaluation_grid()
+
+    def build():
+        table = {}
+        for video in ("band2", "dance5", "office1", "pizza1", "toddler4"):
+            livo = cells_for(cells, scheme="LiVo", video=video)
+            nocull = cells_for(cells, scheme="LiVo-NoCull", video=video)
+            table[video] = (
+                float(np.mean([c.pssim_geometry_nostall for c in livo])),
+                float(np.mean([c.pssim_geometry_nostall for c in nocull])),
+            )
+        return table
+
+    table = benchmark(build)
+    lines = [f"{'Video':9s} {'LiVo':>8s} {'NoCull':>8s} {'gain':>7s}"]
+    gains = []
+    for video, (livo, nocull) in table.items():
+        gain = livo - nocull
+        gains.append(gain)
+        lines.append(f"{video:9s} {livo:8.1f} {nocull:8.1f} {gain:+7.2f}")
+    lines.append(f"{'MEAN':9s} {'':8s} {'':8s} {np.mean(gains):+7.2f}")
+    write_result("fig12_culling_quality.txt", "\n".join(lines))
+
+    # Culling helps on average (paper: ~+2 PSSIM points), and the videos
+    # with more subjects benefit more than the single-dancer video.
+    assert np.mean(gains) > -0.5
+    multi_subject = [table[v][0] - table[v][1] for v in ("band2", "pizza1")]
+    assert max(multi_subject) >= table["dance5"][0] - table["dance5"][1] - 1.5

@@ -1,0 +1,58 @@
+"""Figures 13-14: achieved frame rate per trace.
+
+Paper: LiVo holds 30 fps on trace-1 and ~30 fps (std 0.7) on trace-2;
+LiVo-NoCull dips to 28 fps on trace-2 (24 fps on pizza1); MeshReduce
+averages 12.1 fps, about 2.5x below LiVo.
+"""
+
+import numpy as np
+
+from conftest import write_result
+from _grid import cells_for, run_evaluation_grid
+
+FPS_SCHEMES = ("LiVo", "LiVo-NoCull", "MeshReduce")
+
+
+def test_fig13_14_fps(benchmark, results_dir):
+    cells = run_evaluation_grid()
+
+    def build():
+        table = {}
+        for trace in ("trace-1", "trace-2"):
+            table[trace] = {
+                scheme: (
+                    float(
+                        np.mean(
+                            [c.mean_fps for c in cells_for(cells, scheme=scheme,
+                                                           network_trace=trace)]
+                        )
+                    ),
+                    float(
+                        np.std(
+                            [c.mean_fps for c in cells_for(cells, scheme=scheme,
+                                                           network_trace=trace)]
+                        )
+                    ),
+                )
+                for scheme in FPS_SCHEMES
+            }
+        return table
+
+    table = benchmark(build)
+    lines = [f"{'Trace':9s} " + " ".join(f"{s + ' (fps/std)':>22s}" for s in FPS_SCHEMES)]
+    for trace, row in table.items():
+        lines.append(
+            f"{trace:9s} "
+            + " ".join(f"{row[s][0]:14.1f} / {row[s][1]:4.1f}" for s in FPS_SCHEMES)
+        )
+    write_result("fig13_14_fps.txt", "\n".join(lines))
+
+    for trace in table:
+        livo_fps = table[trace]["LiVo"][0]
+        mesh_fps = table[trace]["MeshReduce"][0]
+        # LiVo near full frame rate; MeshReduce roughly half or less.
+        assert livo_fps > 25.0
+        assert mesh_fps < 20.0
+        assert livo_fps > 1.5 * mesh_fps
+        # LiVo at least as steady as NoCull.
+        assert table[trace]["LiVo"][0] >= table[trace]["LiVo-NoCull"][0] - 1.0

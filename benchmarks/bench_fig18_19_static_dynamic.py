@@ -1,0 +1,58 @@
+"""Figures 18-19: static vs dynamic bandwidth splitting (office1).
+
+Paper: across 60-120 Mbps, LiVo's dynamic split tracks the best static
+split to within 0.5 PSSIM points for geometry and 3 for color --
+without knowing the best split in advance.
+"""
+
+from conftest import write_result
+from _sender_lab import lab_config_with, make_workload, run_static_split
+
+STATIC_SPLITS = (0.5, 0.7, 0.9)
+# Per-frame budgets standing in for the paper's 60-120 Mbps sweep.
+BUDGETS = (22_000, 30_000, 44_000)
+
+# The paper's delta = 0.005 with k = 3 converges over tens of seconds of
+# video; lab runs last under a second, so the controller is
+# time-compressed (larger step, RMSE every frame) to reach its operating
+# point within the run.  The *policy* is unchanged.
+DYNAMIC_CONFIG = lab_config_with(split_step=0.02, rmse_every_k=1)
+DYNAMIC_FRAMES = 18
+STATIC_FRAMES = 6
+
+
+def test_fig18_19_static_vs_dynamic(benchmark, results_dir):
+    rig, frames, user = make_workload("office1", num_frames=DYNAMIC_FRAMES)
+
+    def build():
+        table = {}
+        for budget in BUDGETS:
+            row = {}
+            for split in STATIC_SPLITS:
+                run = run_static_split(
+                    rig, frames[:STATIC_FRAMES], user, budget, split
+                )
+                row[f"s={split}"] = (run.pssim.geometry, run.pssim.color)
+            dynamic = run_static_split(
+                rig, frames, user, budget, None, config=DYNAMIC_CONFIG
+            )
+            row["dynamic"] = (dynamic.pssim.geometry, dynamic.pssim.color)
+            table[budget] = row
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    columns = [f"s={s}" for s in STATIC_SPLITS] + ["dynamic"]
+    lines = [f"{'budget':>7s} " + " ".join(f"{c + ' g/c':>15s}" for c in columns)]
+    for budget, row in table.items():
+        cells = " ".join(f"{row[c][0]:6.1f}/{row[c][1]:6.1f}" for c in columns)
+        lines.append(f"{budget:7d} {cells}")
+    write_result("fig18_19_static_dynamic.txt", "\n".join(lines))
+
+    for budget, row in table.items():
+        best_geometry = max(row[c][0] for c in columns if c != "dynamic")
+        best_color = max(row[c][1] for c in columns if c != "dynamic")
+        # Paper: dynamic within 0.5 geometry points of best static at
+        # high bandwidth, within 3 color points overall.  Allow slack
+        # for the reduced-scale simulator.
+        assert row["dynamic"][0] >= best_geometry - 3.0, budget
+        assert row["dynamic"][1] >= best_color - 8.0, budget

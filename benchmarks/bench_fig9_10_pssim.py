@@ -1,0 +1,101 @@
+"""Figures 9-10: objective PSSIM geometry and color across schemes.
+
+Paper (stalls scored as PSSIM 0): geometry LiVo 87.8 > LiVo-NoCull 81.0
+> MeshReduce 67.0 > Draco-Oracle 28.3; color LiVo 82.9 ~ LiVo-NoCull
+80.9 > MeshReduce 77.3 > Draco-Oracle 29.9.  Shape to hold: the
+geometry ordering, the small color gap between LiVo and NoCull, and
+MeshReduce comparing more favorably on color than on geometry.
+"""
+
+import numpy as np
+
+from conftest import write_result
+from _grid import SCHEME_NAMES, cells_for, run_evaluation_grid
+
+
+def test_fig9_pssim_geometry(benchmark, results_dir):
+    cells = run_evaluation_grid()
+
+    def build():
+        return {
+            scheme: (
+                float(np.mean([c.pssim_geometry_mean for c in cells_for(cells, scheme=scheme)])),
+                float(np.std([c.pssim_geometry_mean for c in cells_for(cells, scheme=scheme)])),
+            )
+            for scheme in SCHEME_NAMES
+        }
+
+    rows = benchmark(build)
+    lines = [f"{'Scheme':13s} {'PSSIM geom':>11s} {'std':>7s}"]
+    for scheme, (mean, std) in rows.items():
+        lines.append(f"{scheme:13s} {mean:11.1f} {std:7.1f}")
+    write_result("fig9_pssim_geometry.txt", "\n".join(lines))
+
+    assert rows["LiVo"][0] >= rows["LiVo-NoCull"][0]
+    assert rows["LiVo"][0] > rows["MeshReduce"][0]
+    assert rows["MeshReduce"][0] > rows["Draco-Oracle"][0]
+    # Paper: LiVo beats MeshReduce by >20% objective quality.
+    assert rows["LiVo"][0] > 1.2 * rows["MeshReduce"][0]
+
+
+def test_fig10_pssim_color(benchmark, results_dir):
+    cells = run_evaluation_grid()
+
+    def build():
+        return {
+            scheme: float(
+                np.mean([c.pssim_color_mean for c in cells_for(cells, scheme=scheme)])
+            )
+            for scheme in SCHEME_NAMES
+        }
+
+    rows = benchmark(build)
+    lines = [f"{'Scheme':13s} {'PSSIM color':>12s}"]
+    for scheme, mean in rows.items():
+        lines.append(f"{scheme:13s} {mean:12.1f}")
+    write_result("fig10_pssim_color.txt", "\n".join(lines))
+
+    # Color: LiVo at the top, NoCull close behind (split gives color
+    # little bandwidth, so culling's color gain is proportionally small).
+    assert rows["LiVo"] >= rows["LiVo-NoCull"] - 3.0
+    assert abs(rows["LiVo"] - rows["LiVo-NoCull"]) < 15.0
+    assert rows["Draco-Oracle"] < rows["MeshReduce"]
+    # MeshReduce compares more favorably on color than geometry.
+    geometry = {
+        scheme: float(
+            np.mean([c.pssim_geometry_mean for c in cells_for(cells, scheme=scheme)])
+        )
+        for scheme in ("LiVo", "MeshReduce")
+    }
+    color_gap = rows["LiVo"] - rows["MeshReduce"]
+    geometry_gap = geometry["LiVo"] - geometry["MeshReduce"]
+    assert color_gap < geometry_gap
+
+
+def test_fig9_per_video_breakdown(benchmark, results_dir):
+    cells = run_evaluation_grid()
+
+    def build():
+        table = {}
+        for video in ("band2", "dance5", "office1", "pizza1", "toddler4"):
+            table[video] = {
+                scheme: float(
+                    np.mean(
+                        [
+                            c.pssim_geometry_mean
+                            for c in cells_for(cells, scheme=scheme, video=video)
+                        ]
+                    )
+                )
+                for scheme in SCHEME_NAMES
+            }
+        return table
+
+    table = benchmark(build)
+    lines = [f"{'Video':9s} " + " ".join(f"{s:>13s}" for s in SCHEME_NAMES)]
+    for video, row in table.items():
+        lines.append(f"{video:9s} " + " ".join(f"{row[s]:13.1f}" for s in SCHEME_NAMES))
+    write_result("fig9_per_video_geometry.txt", "\n".join(lines))
+
+    for video, row in table.items():
+        assert row["LiVo"] > row["Draco-Oracle"], video

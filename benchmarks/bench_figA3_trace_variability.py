@@ -1,0 +1,41 @@
+"""Figure A.3: variability of the two bandwidth traces.
+
+Regenerates the time-series character: trace-2 (mobile) is burstier
+relative to its mean than trace-1 (stationary), and both are temporally
+correlated rather than white.
+"""
+
+import numpy as np
+
+from conftest import write_result
+from repro.transport.traces import trace_1, trace_2
+
+
+def test_figA3_trace_variability(benchmark, results_dir):
+    def build():
+        rows = {}
+        for name, trace in (("trace-1", trace_1(600)), ("trace-2", trace_2(600))):
+            capacity = trace.capacities_mbps
+            lag1 = float(np.corrcoef(capacity[:-1], capacity[1:])[0, 1])
+            rows[name] = {
+                "cv": float(capacity.std() / capacity.mean()),
+                "lag1_autocorr": lag1,
+                "p5_over_mean": float(np.percentile(capacity, 5) / capacity.mean()),
+                "series_head": [round(float(v), 1) for v in capacity[:12]],
+            }
+        return rows
+
+    rows = benchmark(build)
+    lines = [f"{'Trace':9s} {'CV':>6s} {'lag1':>6s} {'p5/mean':>8s}  head-of-series"]
+    for name, row in rows.items():
+        head = " ".join(str(v) for v in row["series_head"])
+        lines.append(
+            f"{name:9s} {row['cv']:6.3f} {row['lag1_autocorr']:6.2f} "
+            f"{row['p5_over_mean']:8.2f}  {head}"
+        )
+    write_result("figA3_trace_variability.txt", "\n".join(lines))
+
+    assert rows["trace-2"]["cv"] > rows["trace-1"]["cv"]
+    assert rows["trace-2"]["p5_over_mean"] < rows["trace-1"]["p5_over_mean"]
+    for row in rows.values():
+        assert row["lag1_autocorr"] > 0.3

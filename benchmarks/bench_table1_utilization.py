@@ -1,0 +1,49 @@
+"""Table 1: throughput and link utilization, LiVo vs MeshReduce.
+
+Paper: LiVo utilizes 73.19% / 92.16% of trace-1 / trace-2 capacity;
+MeshReduce's indirect adaptation reaches only 18.53% / 31.11%.
+The *shape* asserted here: LiVo's utilization is several times
+MeshReduce's on both traces.
+"""
+
+from conftest import write_result
+from _grid import cells_for, mean_over, run_evaluation_grid
+
+
+def test_table1_utilization(benchmark, results_dir):
+    cells = run_evaluation_grid()
+
+    def build_table():
+        lines = [
+            f"{'Trace':9s} {'Capacity(Mbps)':>14s} "
+            f"{'MR TPS':>8s} {'MR Util%':>9s} {'LiVo TPS':>9s} {'LiVo Util%':>10s}"
+        ]
+        rows = {}
+        for trace in ("trace-1", "trace-2"):
+            mesh = cells_for(cells, scheme="MeshReduce", network_trace=trace)
+            livo = cells_for(cells, scheme="LiVo", network_trace=trace)
+            capacity = mean_over(livo, "mean_capacity_mbps")
+            row = (
+                capacity,
+                mean_over(mesh, "throughput_mbps"),
+                100 * mean_over(mesh, "utilization"),
+                mean_over(livo, "throughput_mbps"),
+                100 * mean_over(livo, "utilization"),
+            )
+            rows[trace] = row
+            lines.append(
+                f"{trace:9s} {row[0]:14.2f} {row[1]:8.2f} {row[2]:9.2f} "
+                f"{row[3]:9.2f} {row[4]:10.2f}"
+            )
+        return rows, "\n".join(lines)
+
+    rows, text = benchmark(build_table)
+    write_result("table1_utilization.txt", text)
+
+    for trace in ("trace-1", "trace-2"):
+        _, mesh_tps, mesh_util, livo_tps, livo_util = rows[trace]
+        # LiVo's direct adaptation uses the link far better (paper: 2-4x).
+        assert livo_util > 1.5 * mesh_util
+        assert livo_tps > mesh_tps
+        # MeshReduce is conservative: well under half the capacity.
+        assert mesh_util < 50.0

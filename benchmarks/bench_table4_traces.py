@@ -1,0 +1,34 @@
+"""Table 4: bandwidth trace statistics.
+
+Regenerates the trace summary and checks it matches the paper's
+reported moments for both (scaled) traces.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.transport.traces import TRACE_1_STATS, TRACE_2_STATS, trace_1, trace_2
+
+
+def test_table4_trace_statistics(benchmark, results_dir):
+    def build():
+        return {
+            "trace-1": trace_1(duration_s=600).stats(),
+            "trace-2": trace_2(duration_s=600).stats(),
+        }
+
+    stats = benchmark(build)
+    lines = [f"{'Trace':9s} {'Mean':>8s} {'Max':>8s} {'Min':>8s} {'p90':>8s} {'p10':>8s}"]
+    for name, s in stats.items():
+        lines.append(
+            f"{name:9s} {s.mean:8.2f} {s.max:8.2f} {s.min:8.2f} {s.p90:8.2f} {s.p10:8.2f}"
+        )
+    write_result("table4_traces.txt", "\n".join(lines))
+
+    for name, target in (("trace-1", TRACE_1_STATS), ("trace-2", TRACE_2_STATS)):
+        s = stats[name]
+        assert s.mean == pytest.approx(target.mean, rel=0.02)
+        assert s.min >= target.min - 1e-9
+        assert s.max <= target.max + 1e-9
+        assert s.p90 == pytest.approx(target.p90, rel=0.10)
+        assert s.p10 == pytest.approx(target.p10, rel=0.10)

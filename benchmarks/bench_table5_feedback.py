@@ -1,0 +1,68 @@
+"""Table 5: qualitative feedback categories (modeled comments).
+
+Paper: 100% of LiVo's frame-rate comments are High and none of its
+stall comments are (only 4.2%) High; Draco-Oracle's stall comments are
+87.5% High; MeshReduce's stall comments are 90.9% Low but only 4.6% of
+its quality comments are High versus 60.6% for LiVo.
+"""
+
+import numpy as np
+
+from conftest import write_result
+from _grid import SCHEME_NAMES, cells_for, run_evaluation_grid
+from repro.metrics.mos import CommentModel, SessionQoE
+
+COMMENTS_PER_SCHEME = 46  # 184 comments over 4 schemes
+
+
+def test_table5_comment_categories(benchmark, results_dir):
+    cells = run_evaluation_grid()
+    model = CommentModel()
+
+    def build():
+        table = {}
+        for scheme in SCHEME_NAMES:
+            scheme_cells = cells_for(cells, scheme=scheme)
+            totals = {
+                "frame_rate": np.zeros(3),
+                "stalls": np.zeros(3),
+                "quality": np.zeros(3),
+            }
+            per_cell = max(1, COMMENTS_PER_SCHEME // len(scheme_cells))
+            for index, cell in enumerate(scheme_cells):
+                qoe = SessionQoE(
+                    cell.pssim_geometry_mean, cell.pssim_color_mean,
+                    cell.stall_rate, cell.mean_fps,
+                )
+                counts = model.sample_comments(qoe, per_cell, seed=index)
+                for key in totals:
+                    totals[key] += counts[key]
+            table[scheme] = {
+                key: 100.0 * values / values.sum() for key, values in totals.items()
+            }
+        return table
+
+    table = benchmark(build)
+    lines = [
+        f"{'Scheme':13s} | {'FrameRate L/M/H':>22s} | {'Stalls L/M/H':>22s} | "
+        f"{'Quality L/M/H':>22s}"
+    ]
+    for scheme, row in table.items():
+        cols = " | ".join(
+            " ".join(f"{v:6.1f}" for v in row[key])
+            for key in ("frame_rate", "stalls", "quality")
+        )
+        lines.append(f"{scheme:13s} | {cols}")
+    write_result("table5_feedback.txt", "\n".join(lines))
+
+    livo, draco = table["LiVo"], table["Draco-Oracle"]
+    mesh = table["MeshReduce"]
+    # LiVo: frame rate overwhelmingly High, stalls overwhelmingly not-High.
+    assert livo["frame_rate"][2] > 80.0
+    assert livo["stalls"][2] < 20.0
+    # Draco-Oracle: stalls mostly High, frame rate mostly Low.
+    assert draco["stalls"][2] > 40.0
+    assert draco["frame_rate"][0] > 50.0
+    # MeshReduce: stalls Low, quality rarely High.
+    assert mesh["stalls"][0] > 70.0
+    assert mesh["quality"][2] < livo["quality"][2]

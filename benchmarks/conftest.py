@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures and result-file helpers."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).parent
+RESULTS_DIR = BENCH_DIR / "results"
+
+sys.path.insert(0, str(BENCH_DIR))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benches write their regenerated tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a bench's paper-shaped table and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text)
+    print(f"\n[{name}]\n{text}")

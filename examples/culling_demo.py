@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""View-culling demo: frustum prediction and its bandwidth payoff.
+
+Tracks a moving viewer with the Kalman frustum predictor, culls each
+multi-camera capture to the predicted (guard-banded) frustum, and
+prints per-frame prediction error, culling accuracy, and the encoded-
+size saving culling buys -- paper section 3.4 end to end.
+
+Run:  python examples/culling_demo.py
+"""
+
+import numpy as np
+
+from repro.capture.dataset import load_video
+from repro.capture.rig import default_rig
+from repro.codec.video import VideoCodecConfig, VideoEncoder
+from repro.depthcodec.scaling import scale_depth
+from repro.prediction.culling import cull_views, culling_accuracy
+from repro.prediction.pose import user_traces_for_video
+from repro.prediction.predictor import FrustumPredictor, ViewingDevice
+from repro.tiling.tiler import TileLayout, Tiler
+
+NUM_FRAMES = 20
+FEEDBACK_LAG_FRAMES = 3
+FPS = 30.0
+
+
+def encoded_size(tiler, encoder, views, sequence, color=True):
+    if color:
+        tiled = tiler.compose([v.color for v in views], sequence)
+    else:
+        tiled = tiler.compose([scale_depth(v.depth_mm) for v in views], sequence)
+    frame, _ = encoder.encode(tiled, qp=30)
+    return frame.size_bytes
+
+
+def main() -> None:
+    _, scene = load_video("pizza1", sample_budget=20_000)
+    rig = default_rig(num_cameras=8, width=64, height=48)
+    user = user_traces_for_video("pizza1", NUM_FRAMES + 10)[0]
+    device = ViewingDevice()
+    predictor = FrustumPredictor(device, guard_band_m=0.20)
+
+    intr = rig.cameras[0].intrinsics
+    layout = TileLayout.for_cameras(rig.num_cameras, intr.height, intr.width)
+    depth_tiler = Tiler(layout, is_color=False)
+    encoder_full = VideoEncoder(VideoCodecConfig.for_depth(gop_size=8))
+    encoder_culled = VideoEncoder(VideoCodecConfig.for_depth(gop_size=8))
+
+    print(f"{'frame':>5s} {'pos err cm':>11s} {'accuracy':>9s} {'kept':>6s} "
+          f"{'full B':>8s} {'culled B':>9s} {'saving':>7s}")
+    for sequence in range(NUM_FRAMES):
+        # The sender only knows poses FEEDBACK_LAG_FRAMES old.
+        if sequence >= FEEDBACK_LAG_FRAMES:
+            lagged = sequence - FEEDBACK_LAG_FRAMES
+            predictor.observe(user.pose_at_frame(lagged), lagged / FPS)
+        frame = rig.capture(scene, sequence)
+        if not predictor.ready:
+            continue
+
+        horizon = FEEDBACK_LAG_FRAMES / FPS
+        predicted_pose = predictor.predict_pose(horizon)
+        actual_pose = user.pose_at_frame(sequence)
+        position_error_cm = 100 * np.linalg.norm(
+            predicted_pose.position - actual_pose.position
+        )
+
+        predicted = predictor.predict_frustum(horizon)
+        actual = device.frustum_for(actual_pose)
+        accuracy, kept = culling_accuracy(frame, rig.cameras, predicted, actual)
+
+        culled = cull_views(frame, rig.cameras, predicted)
+        full_bytes = encoded_size(depth_tiler, encoder_full, frame.views, sequence, color=False)
+        culled_bytes = encoded_size(depth_tiler, encoder_culled, culled.views, sequence, color=False)
+        saving = 1.0 - culled_bytes / full_bytes
+        print(
+            f"{sequence:5d} {position_error_cm:11.1f} {accuracy:9.1%} {kept:6.1%} "
+            f"{full_bytes:8d} {culled_bytes:9d} {saving:7.1%}"
+        )
+
+    print(
+        "\nAccuracy ~100% means the guard band absorbed the prediction"
+        "\nerror; the size column shows culling's bandwidth saving"
+        "\n(paper: ~2x lower bandwidth after encoding in most cases)."
+    )
+
+
+if __name__ == "__main__":
+    main()

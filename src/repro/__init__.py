@@ -1,0 +1,31 @@
+"""LiVo reproduction: bandwidth-adaptive volumetric video conferencing.
+
+A from-scratch Python implementation of *LiVo: Toward Bandwidth-adaptive
+Fully-Immersive Volumetric Video Conferencing* (CoNEXT 2025) and every
+substrate it depends on.
+
+Top-level layout:
+
+- :mod:`repro.geometry` -- point clouds, cameras, frustums, voxels.
+- :mod:`repro.capture` -- synthetic RGB-D camera rig + evaluation videos.
+- :mod:`repro.codec` -- rate-adaptive block-transform 2D video codec.
+- :mod:`repro.depthcodec` -- LiVo's 16-bit depth encoding + baselines.
+- :mod:`repro.tiling` -- multi-camera tiling + frame sequence markers.
+- :mod:`repro.transport` -- WebRTC-like transport, GCC, trace-driven link.
+- :mod:`repro.prediction` -- Kalman/MLP pose prediction, frustum culling.
+- :mod:`repro.compression` -- Draco-like octree codec, Oracle, MeshReduce.
+- :mod:`repro.metrics` -- PointSSIM, image metrics, MOS model.
+- :mod:`repro.core` -- the LiVo sender/receiver pipeline and schemes.
+
+Quickstart::
+
+    from repro.capture import load_video, default_rig
+    from repro.core import LiVoSession, SessionConfig
+
+    spec, scene = load_video("band2")
+    session = LiVoSession(SessionConfig())
+    report = session.run(scene, num_frames=30)
+    print(report.summary())
+"""
+
+__version__ = "1.0.0"

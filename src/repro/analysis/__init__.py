@@ -1,0 +1,16 @@
+"""Analysis helpers: aggregate session reports, format result tables.
+
+The evaluation aggregates many replay sessions into per-scheme
+summaries (Figs. 5-14 all do this).  This package makes that a public
+API so downstream users can run their own grids:
+
+- :mod:`repro.analysis.aggregate` -- scheme-level aggregation of
+  :class:`repro.core.stats.SessionReport` objects;
+- :mod:`repro.analysis.tables` -- plain-text table formatting used by
+  the CLI, examples, and benches.
+"""
+
+from repro.analysis.aggregate import SchemeSummary, aggregate_reports, compare_schemes
+from repro.analysis.tables import format_table
+
+__all__ = ["SchemeSummary", "aggregate_reports", "compare_schemes", "format_table"]

@@ -1,0 +1,83 @@
+"""Scheme-level aggregation of session reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stats import SessionReport
+
+__all__ = ["SchemeSummary", "aggregate_reports", "compare_schemes"]
+
+
+@dataclass(frozen=True)
+class SchemeSummary:
+    """Aggregated evaluation numbers for one scheme."""
+
+    scheme: str
+    num_sessions: int
+    pssim_geometry_mean: float
+    pssim_geometry_std: float
+    pssim_color_mean: float
+    pssim_color_std: float
+    stall_rate: float
+    mean_fps: float
+    throughput_mbps: float
+    utilization: float
+
+    def row(self) -> dict[str, float | int | str]:
+        """Flat dict for table rendering."""
+        return {
+            "scheme": self.scheme,
+            "sessions": self.num_sessions,
+            "pssim_g": round(self.pssim_geometry_mean, 1),
+            "pssim_c": round(self.pssim_color_mean, 1),
+            "stalls%": round(100 * self.stall_rate, 1),
+            "fps": round(self.mean_fps, 1),
+            "tput_mbps": round(self.throughput_mbps, 2),
+            "util%": round(100 * self.utilization, 1),
+        }
+
+
+def aggregate_reports(
+    reports: list[SessionReport], stalls_as_zero: bool = True
+) -> SchemeSummary:
+    """Collapse same-scheme session reports into one summary.
+
+    PSSIM aggregation follows the paper's convention: stalled frames
+    score zero unless ``stalls_as_zero`` is disabled.
+    """
+    if not reports:
+        raise ValueError("need at least one report")
+    schemes = {report.scheme for report in reports}
+    if len(schemes) != 1:
+        raise ValueError(f"reports span several schemes: {sorted(schemes)}")
+    geometry = [report.pssim_geometry(stalls_as_zero)[0] for report in reports]
+    color = [report.pssim_color(stalls_as_zero)[0] for report in reports]
+    return SchemeSummary(
+        scheme=reports[0].scheme,
+        num_sessions=len(reports),
+        pssim_geometry_mean=float(np.mean(geometry)),
+        pssim_geometry_std=float(np.std(geometry)),
+        pssim_color_mean=float(np.mean(color)),
+        pssim_color_std=float(np.std(color)),
+        stall_rate=float(np.mean([report.stall_rate for report in reports])),
+        mean_fps=float(np.mean([report.mean_fps for report in reports])),
+        throughput_mbps=float(np.mean([report.throughput_mbps for report in reports])),
+        utilization=float(np.mean([report.utilization for report in reports])),
+    )
+
+
+def compare_schemes(reports: list[SessionReport]) -> list[SchemeSummary]:
+    """Group mixed reports by scheme and aggregate each group.
+
+    Returned summaries are sorted by geometry PSSIM, best first -- the
+    ordering the paper's comparisons lead with.
+    """
+    by_scheme: dict[str, list[SessionReport]] = {}
+    for report in reports:
+        by_scheme.setdefault(report.scheme, []).append(report)
+    summaries = [aggregate_reports(group) for group in by_scheme.values()]
+    summaries.sort(key=lambda s: s.pssim_geometry_mean, reverse=True)
+    return summaries

@@ -1,0 +1,51 @@
+"""Plain-text table rendering (stdlib only)."""
+
+from __future__ import annotations
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    rows: list[dict[str, object]],
+    columns: list[str] | None = None,
+    min_width: int = 6,
+) -> str:
+    """Render dict rows as an aligned monospace table.
+
+    Column order follows ``columns`` when given, else the first row's
+    key order.  Numbers are right-aligned, text left-aligned.
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    missing = [c for c in columns if any(c not in row for row in rows)]
+    if missing:
+        raise ValueError(f"rows missing columns: {missing}")
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}".rstrip("0").rstrip(".") if value == value else "nan"
+        return str(value)
+
+    rendered = [[cell(row[c]) for c in columns] for row in rows]
+    widths = [
+        max(min_width, len(c), *(len(r[i]) for r in rendered))
+        for i, c in enumerate(columns)
+    ]
+
+    def align(text: str, width: int, value: object) -> str:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return text.rjust(width)
+        return text.ljust(width)
+
+    header = "  ".join(c.rjust(w) for c, w in zip(columns, widths))
+    separator = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(
+            align(text, width, rows[row_index][column])
+            for text, width, column in zip(rendered[row_index], widths, columns)
+        )
+        for row_index in range(len(rows))
+    ]
+    return "\n".join([header, separator, *body])

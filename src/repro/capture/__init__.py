@@ -1,0 +1,28 @@
+"""Capture substrate: synthetic RGB-D camera array and dataset.
+
+The paper captures with 10 Kinect v2 cameras (Panoptic dataset) /
+Azure Kinect DK arrays.  We have no cameras, so this package builds the
+closest synthetic equivalent: procedural animated 3D scenes rendered to
+pixel-aligned RGB-D images through the same pinhole projection a Kinect
+applies.  Downstream code (tiling, encoding, culling, reconstruction)
+sees exactly the data layout real hardware would produce.
+"""
+
+from repro.capture.dataset import PANOPTIC_VIDEOS, VideoSpec, load_video
+from repro.capture.renderer import render_rgbd
+from repro.capture.rgbd import MultiViewFrame, RGBDFrame
+from repro.capture.rig import CaptureRig, default_rig
+from repro.capture.scene import Scene, make_scene
+
+__all__ = [
+    "PANOPTIC_VIDEOS",
+    "VideoSpec",
+    "load_video",
+    "render_rgbd",
+    "MultiViewFrame",
+    "RGBDFrame",
+    "CaptureRig",
+    "default_rig",
+    "Scene",
+    "make_scene",
+]

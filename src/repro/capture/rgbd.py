@@ -1,0 +1,126 @@
+"""RGB-D frame containers.
+
+An :class:`RGBDFrame` is one camera's output for one capture instant:
+a color image and a pixel-aligned depth image (uint16 millimeters, zero
+for invalid pixels), exactly the format the Azure Kinect SDK exposes
+after color-to-depth alignment.  A :class:`MultiViewFrame` bundles the
+N synchronized per-camera frames that together define one point cloud
+(paper section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RGBDFrame", "MultiViewFrame"]
+
+
+@dataclass
+class RGBDFrame:
+    """One camera's synchronized color + depth capture.
+
+    Attributes:
+        color: ``(H, W, 3)`` uint8 RGB image, pixel-aligned with depth.
+        depth_mm: ``(H, W)`` uint16 depth in millimeters; 0 = invalid.
+        camera_id: index of the producing camera in the rig.
+        sequence: frame sequence number (30 fps capture clock).
+        timestamp_s: capture time in seconds.
+    """
+
+    color: np.ndarray
+    depth_mm: np.ndarray
+    camera_id: int = 0
+    sequence: int = 0
+    timestamp_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.color = np.asarray(self.color, dtype=np.uint8)
+        self.depth_mm = np.asarray(self.depth_mm, dtype=np.uint16)
+        if self.color.ndim != 3 or self.color.shape[2] != 3:
+            raise ValueError(f"color must be (H, W, 3), got {self.color.shape}")
+        if self.depth_mm.shape != self.color.shape[:2]:
+            raise ValueError(
+                f"depth shape {self.depth_mm.shape} must match color "
+                f"{self.color.shape[:2]}"
+            )
+
+    @property
+    def resolution(self) -> tuple[int, int]:
+        """(height, width)."""
+        return self.depth_mm.shape  # type: ignore[return-value]
+
+    @property
+    def valid_mask(self) -> np.ndarray:
+        """Boolean mask of pixels with a valid depth reading."""
+        return self.depth_mm > 0
+
+    def num_valid_pixels(self) -> int:
+        """Count of valid-depth pixels (points this frame contributes)."""
+        return int(np.count_nonzero(self.depth_mm))
+
+    def copy(self) -> "RGBDFrame":
+        """Deep copy."""
+        return RGBDFrame(
+            self.color.copy(),
+            self.depth_mm.copy(),
+            camera_id=self.camera_id,
+            sequence=self.sequence,
+            timestamp_s=self.timestamp_s,
+        )
+
+    def culled(self, keep_mask: np.ndarray) -> "RGBDFrame":
+        """Return a copy with pixels outside ``keep_mask`` zeroed.
+
+        LiVo "replace[s] culled pixels with a zero value (both for color
+        and depth)" (section 3.4).  Zeroed regions compress to almost
+        nothing under the 2D codec, which is where culling's bandwidth
+        saving comes from.
+        """
+        keep_mask = np.asarray(keep_mask, dtype=bool)
+        if keep_mask.shape != self.depth_mm.shape:
+            raise ValueError("mask shape must match frame resolution")
+        color = np.where(keep_mask[..., None], self.color, 0).astype(np.uint8)
+        depth = np.where(keep_mask, self.depth_mm, 0).astype(np.uint16)
+        return RGBDFrame(
+            color, depth, camera_id=self.camera_id, sequence=self.sequence,
+            timestamp_s=self.timestamp_s,
+        )
+
+
+@dataclass
+class MultiViewFrame:
+    """The N synchronized per-camera frames for one capture instant."""
+
+    views: list[RGBDFrame]
+    sequence: int = 0
+    timestamp_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.views:
+            raise ValueError("a MultiViewFrame needs at least one view")
+        resolutions = {view.resolution for view in self.views}
+        if len(resolutions) != 1:
+            raise ValueError(f"all views must share one resolution, got {resolutions}")
+
+    def __len__(self) -> int:
+        return len(self.views)
+
+    @property
+    def num_cameras(self) -> int:
+        """Number of camera views."""
+        return len(self.views)
+
+    @property
+    def resolution(self) -> tuple[int, int]:
+        """Per-camera (height, width)."""
+        return self.views[0].resolution
+
+    def raw_size_bytes(self) -> int:
+        """Size of the frame's raw point cloud (15 bytes per valid pixel)."""
+        return sum(view.num_valid_pixels() for view in self.views) * 15
+
+    def total_points(self) -> int:
+        """Total number of valid-depth pixels across views."""
+        return sum(view.num_valid_pixels() for view in self.views)

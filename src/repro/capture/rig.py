@@ -1,0 +1,80 @@
+"""The RGB-D capture rig: N calibrated cameras + 30 fps capture clock.
+
+Models the paper's deployment: "an array of off-the-shelf RGB-D cameras
+encircling a scene" (section 3.1), frame-synchronized (Kinect sync cable,
+footnote 1) and one-shot calibrated into a common world frame (Zhang's
+method).  Our cameras are calibrated exactly by construction; the rig
+exposes the same per-interval capture of N synchronized frames.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.capture.renderer import render_views
+from repro.capture.rgbd import MultiViewFrame
+from repro.capture.scene import Scene
+from repro.geometry.camera import CameraIntrinsics, RGBDCamera, ring_of_cameras
+
+__all__ = ["CaptureRig", "default_rig", "DEFAULT_FPS"]
+
+DEFAULT_FPS = 30.0
+
+
+class CaptureRig:
+    """N synchronized RGB-D cameras capturing a scene at a fixed frame rate."""
+
+    def __init__(self, cameras: list[RGBDCamera], fps: float = DEFAULT_FPS) -> None:
+        if not cameras:
+            raise ValueError("a rig needs at least one camera")
+        if fps <= 0:
+            raise ValueError("fps must be positive")
+        self.cameras = list(cameras)
+        self.fps = float(fps)
+
+    @property
+    def num_cameras(self) -> int:
+        """Number of cameras in the rig."""
+        return len(self.cameras)
+
+    @property
+    def frame_interval_s(self) -> float:
+        """Inter-frame interval (1/30 s at 30 fps)."""
+        return 1.0 / self.fps
+
+    def capture(self, scene: Scene, sequence: int) -> MultiViewFrame:
+        """Capture one synchronized multi-view frame of ``scene``."""
+        timestamp = sequence * self.frame_interval_s
+        points, colors = scene.sample(timestamp)
+        return render_views(
+            self.cameras, points, colors, sequence=sequence, timestamp_s=timestamp
+        )
+
+    def stream(self, scene: Scene, num_frames: int, start: int = 0) -> Iterator[MultiViewFrame]:
+        """Yield ``num_frames`` consecutive captures starting at ``start``."""
+        for sequence in range(start, start + num_frames):
+            yield self.capture(scene, sequence)
+
+
+def default_rig(
+    num_cameras: int = 10,
+    width: int = 80,
+    height: int = 60,
+    radius_m: float = 2.4,
+    camera_height_m: float = 1.4,
+    fps: float = DEFAULT_FPS,
+) -> CaptureRig:
+    """Ten-camera ring, mirroring the Panoptic dataset's Kinect v2 setup.
+
+    Default per-camera resolution is scaled down (80x60 instead of
+    512x424) so full end-to-end sessions run in seconds; every dimension
+    scales linearly, and all benches document the scaling they apply.
+    """
+    intrinsics = CameraIntrinsics.from_fov(width, height, horizontal_fov_deg=75.0)
+    cameras = ring_of_cameras(
+        num_cameras=num_cameras,
+        radius_m=radius_m,
+        height_m=camera_height_m,
+        intrinsics=intrinsics,
+    )
+    return CaptureRig(cameras, fps=fps)

@@ -1,0 +1,166 @@
+"""Command-line interface: run sessions and inspect workloads.
+
+Usage (after ``python setup.py develop``)::
+
+    python -m repro videos                     # list evaluation videos
+    python -m repro schemes                    # list comparison schemes
+    python -m repro traces                     # Table 4 trace statistics
+    python -m repro run --video band2 --scheme LiVo --trace trace-1
+    python -m repro export --video pizza1 --out /tmp/pizza1
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LiVo reproduction: bandwidth-adaptive volumetric conferencing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("videos", help="list the Table 3 evaluation videos")
+    sub.add_parser("schemes", help="list the comparison schemes (Table 2)")
+    sub.add_parser("traces", help="print Table 4 bandwidth trace statistics")
+
+    run = sub.add_parser("run", help="replay one session and print its report")
+    run.add_argument("--video", default="band2")
+    run.add_argument(
+        "--scheme",
+        default="LiVo",
+        choices=["LiVo", "LiVo-NoCull", "LiVo-NoAdapt", "Draco-Oracle", "MeshReduce"],
+    )
+    run.add_argument("--trace", default="trace-1", choices=["trace-1", "trace-2"])
+    run.add_argument("--frames", type=int, default=30)
+    run.add_argument("--user", type=int, default=0, help="user trace index (0-2)")
+    run.add_argument("--cameras", type=int, default=8)
+
+    export = sub.add_parser(
+        "export", help="dump one capture's frames and point cloud to files"
+    )
+    export.add_argument("--video", default="band2")
+    export.add_argument("--out", required=True, help="output directory")
+    export.add_argument("--frame", type=int, default=0)
+
+    return parser
+
+
+def _cmd_videos() -> int:
+    from repro.capture.dataset import PANOPTIC_VIDEOS
+
+    print(f"{'name':9s} {'objects':>8s} {'paper dur':>10s} {'description'}")
+    for spec in PANOPTIC_VIDEOS.values():
+        print(
+            f"{spec.name:9s} {spec.paper_objects:8d} {spec.paper_duration_s:9d}s "
+            f"{spec.description}"
+        )
+    return 0
+
+
+def _cmd_schemes() -> int:
+    from repro.core.schemes import SCHEMES
+
+    for spec in SCHEMES.values():
+        print(
+            f"{spec.name:13s} {spec.kind:13s} compr={spec.compression:3s} "
+            f"adapt={spec.bandwidth_adaptive:9s} fps={spec.fps} "
+            f"cull={'yes' if spec.culls else 'no'}"
+        )
+    return 0
+
+
+def _cmd_traces() -> int:
+    from repro.transport.traces import trace_1, trace_2
+
+    print(f"{'trace':9s} {'mean':>8s} {'max':>8s} {'min':>8s} {'p90':>8s} {'p10':>8s}")
+    for name, trace in (("trace-1", trace_1(600)), ("trace-2", trace_2(600))):
+        stats = trace.stats()
+        print(
+            f"{name:9s} {stats.mean:8.2f} {stats.max:8.2f} {stats.min:8.2f} "
+            f"{stats.p90:8.2f} {stats.p10:8.2f}"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.capture.dataset import load_video
+    from repro.core.config import SchemeFlags, SessionConfig
+    from repro.core.session import DracoOracleSession, LiVoSession, MeshReduceSession
+    from repro.prediction.pose import user_traces_for_video
+    from repro.transport.traces import trace_1, trace_2
+
+    _, scene = load_video(args.video, sample_budget=20_000)
+    user = user_traces_for_video(args.video, args.frames + 10)[args.user]
+    bandwidth = trace_1(duration_s=30) if args.trace == "trace-1" else trace_2(duration_s=30)
+
+    flags = SchemeFlags(
+        culling=args.scheme == "LiVo",
+        adaptation=args.scheme != "LiVo-NoAdapt",
+    )
+    config = SessionConfig(
+        num_cameras=args.cameras, camera_width=64, camera_height=48,
+        scene_sample_budget=20_000, gop_size=15, scheme=flags,
+    )
+    if args.scheme in ("LiVo", "LiVo-NoCull", "LiVo-NoAdapt"):
+        report = LiVoSession(config).run(
+            scene, user, bandwidth, args.frames,
+            video_name=args.video, scheme_name=args.scheme,
+        )
+    elif args.scheme == "Draco-Oracle":
+        report = DracoOracleSession(config).run(
+            scene, user, bandwidth, args.frames, video_name=args.video
+        )
+    else:
+        report = MeshReduceSession(config).run(
+            scene, user, bandwidth, args.frames, video_name=args.video
+        )
+    print(report.summary())
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.capture.dataset import load_video
+    from repro.capture.rig import default_rig
+    from repro.geometry.pointcloud import PointCloud
+    from repro.viz import depth_to_color, write_ply, write_ppm
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    _, scene = load_video(args.video, sample_budget=20_000)
+    rig = default_rig(num_cameras=8, width=64, height=48)
+    frame = rig.capture(scene, args.frame)
+    for view, camera in zip(frame.views, rig.cameras):
+        write_ppm(out / f"cam{view.camera_id:02d}_color.ppm", view.color)
+        write_ppm(out / f"cam{view.camera_id:02d}_depth.ppm", depth_to_color(view.depth_mm))
+    clouds = [
+        camera.unproject(view.depth_mm, view.color)
+        for camera, view in zip(rig.cameras, frame.views)
+    ]
+    cloud = PointCloud.merge(clouds)
+    write_ply(out / "frame.ply", cloud)
+    print(f"wrote {2 * len(frame.views)} images and frame.ply ({len(cloud)} points) to {out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "videos":
+        return _cmd_videos()
+    if args.command == "schemes":
+        return _cmd_schemes()
+    if args.command == "traces":
+        return _cmd_traces()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "export":
+        return _cmd_export(args)
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,32 @@
+"""2D video codec substrate.
+
+A from-scratch block-transform video codec playing the role the paper
+assigns to H.265/nvenc: 8x8 DCT, intra- and inter-predicted frames with
+a GOP structure, dead-zone quantization driven by a quality parameter
+(QP), an entropy stage, and -- the property LiVo's design hinges on --
+**direct rate adaptation**: the encoder accepts a target bitrate and
+internally controls QP to hit it (paper section 1: "such a codec takes a
+desired bandwidth as input and attempts to encode the frame at that
+target bandwidth by internally controlling the quality parameter").
+
+Supported pixel formats mirror the two modes LiVo uses:
+
+- ``uint8`` ``(H, W, 3)`` color (BGRA-in-paper; RGB here) via YCbCr;
+- ``uint16`` ``(H, W)`` single plane -- the Y444_16LE-like 16-bit Y mode
+  used for depth (paper section 3.2).
+"""
+
+from repro.codec.frame import EncodedFrame, FrameType
+from repro.codec.quant import qp_to_step
+from repro.codec.rate_control import RateController
+from repro.codec.video import VideoCodecConfig, VideoDecoder, VideoEncoder
+
+__all__ = [
+    "EncodedFrame",
+    "FrameType",
+    "qp_to_step",
+    "RateController",
+    "VideoCodecConfig",
+    "VideoDecoder",
+    "VideoEncoder",
+]

@@ -1,0 +1,69 @@
+"""Block (macroblock) splitting and merging.
+
+2D video codecs operate on fixed-size pixel blocks ("2D video codecs
+predict macroblocks (8x8 or 16x16 pixel blocks) within and between
+frames", paper section 3.2).  These helpers turn a 2D plane into an
+``(num_blocks, B, B)`` stack and back, padding by edge replication so
+every plane size is legal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pad_to_blocks", "split_blocks", "merge_blocks", "block_grid_shape"]
+
+DEFAULT_BLOCK_SIZE = 8
+
+
+def block_grid_shape(height: int, width: int, block_size: int) -> tuple[int, int]:
+    """Number of block rows and columns covering an ``height x width`` plane."""
+    rows = -(-height // block_size)
+    cols = -(-width // block_size)
+    return rows, cols
+
+
+def pad_to_blocks(plane: np.ndarray, block_size: int = DEFAULT_BLOCK_SIZE) -> np.ndarray:
+    """Pad a 2D plane with edge replication to a multiple of the block size."""
+    if plane.ndim != 2:
+        raise ValueError(f"expected a 2D plane, got shape {plane.shape}")
+    height, width = plane.shape
+    rows, cols = block_grid_shape(height, width, block_size)
+    pad_h = rows * block_size - height
+    pad_w = cols * block_size - width
+    if pad_h == 0 and pad_w == 0:
+        return plane
+    return np.pad(plane, ((0, pad_h), (0, pad_w)), mode="edge")
+
+
+def split_blocks(plane: np.ndarray, block_size: int = DEFAULT_BLOCK_SIZE) -> np.ndarray:
+    """Split a (padded) plane into an ``(N, B, B)`` stack, row-major order."""
+    plane = pad_to_blocks(plane, block_size)
+    height, width = plane.shape
+    rows = height // block_size
+    cols = width // block_size
+    return (
+        plane.reshape(rows, block_size, cols, block_size)
+        .swapaxes(1, 2)
+        .reshape(rows * cols, block_size, block_size)
+    )
+
+
+def merge_blocks(
+    blocks: np.ndarray, height: int, width: int, block_size: int = DEFAULT_BLOCK_SIZE
+) -> np.ndarray:
+    """Reassemble an ``(N, B, B)`` stack into an ``height x width`` plane.
+
+    Inverse of :func:`split_blocks`; padding introduced there is cropped.
+    """
+    rows, cols = block_grid_shape(height, width, block_size)
+    if blocks.shape != (rows * cols, block_size, block_size):
+        raise ValueError(
+            f"expected {(rows * cols, block_size, block_size)} blocks, got {blocks.shape}"
+        )
+    plane = (
+        blocks.reshape(rows, cols, block_size, block_size)
+        .swapaxes(1, 2)
+        .reshape(rows * block_size, cols * block_size)
+    )
+    return plane[:height, :width]

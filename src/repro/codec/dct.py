@@ -1,0 +1,28 @@
+"""Blockwise 2D DCT transform.
+
+Type-II DCT with orthonormal scaling over the last two axes of a block
+stack -- the transform stage shared by JPEG/H.26x-family codecs.  Using
+``scipy.fft.dctn`` over the stacked block axis keeps the whole frame's
+transform a single vectorized call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.fft import dctn, idctn
+
+__all__ = ["forward_dct", "inverse_dct"]
+
+
+def forward_dct(blocks: np.ndarray) -> np.ndarray:
+    """Orthonormal 2D DCT-II of each block in an ``(N, B, B)`` stack."""
+    if blocks.ndim != 3:
+        raise ValueError(f"expected (N, B, B) block stack, got {blocks.shape}")
+    return dctn(blocks.astype(np.float64), axes=(1, 2), norm="ortho")
+
+
+def inverse_dct(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`forward_dct`."""
+    if coefficients.ndim != 3:
+        raise ValueError(f"expected (N, B, B) coefficient stack, got {coefficients.shape}")
+    return idctn(np.asarray(coefficients, dtype=np.float64), axes=(1, 2), norm="ortho")

@@ -1,0 +1,97 @@
+"""Encoded-frame container and bitstream serialization.
+
+An :class:`EncodedFrame` is what the encoder emits and the transport
+packetizes: a self-describing byte payload plus the metadata the decoder
+and the rate controller need (frame type, QP, pixel format, size).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+__all__ = ["FrameType", "PixelFormat", "EncodedFrame"]
+
+
+class FrameType(enum.Enum):
+    """Frame prediction type within the GOP."""
+
+    INTRA = "I"
+    INTER = "P"
+
+
+class PixelFormat(enum.Enum):
+    """Supported input pixel formats."""
+
+    RGB8 = "rgb8"       # (H, W, 3) uint8, coded as YCbCr
+    GRAY16 = "gray16"   # (H, W) uint16, the 16-bit-Y depth mode
+
+
+_HEADER = struct.Struct("<4sBBBBIHHI")
+_MAGIC = b"LVF1"
+_FRAME_TYPE_CODE = {FrameType.INTRA: 0, FrameType.INTER: 1}
+_FRAME_TYPE_FROM = {value: key for key, value in _FRAME_TYPE_CODE.items()}
+_FORMAT_CODE = {PixelFormat.RGB8: 0, PixelFormat.GRAY16: 1}
+_FORMAT_FROM = {value: key for key, value in _FORMAT_CODE.items()}
+
+
+@dataclass(frozen=True)
+class EncodedFrame:
+    """One compressed video frame."""
+
+    frame_type: FrameType
+    pixel_format: PixelFormat
+    qp: int
+    sequence: int
+    height: int
+    width: int
+    payload: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        """Total wire size including the frame header."""
+        return _HEADER.size + len(self.payload)
+
+    @property
+    def size_bits(self) -> int:
+        """Total wire size in bits."""
+        return self.size_bytes * 8
+
+    def to_bytes(self) -> bytes:
+        """Serialize for transport."""
+        header = _HEADER.pack(
+            _MAGIC,
+            _FRAME_TYPE_CODE[self.frame_type],
+            _FORMAT_CODE[self.pixel_format],
+            self.qp,
+            0,
+            self.sequence,
+            self.height,
+            self.width,
+            len(self.payload),
+        )
+        return header + self.payload
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "EncodedFrame":
+        """Parse a frame serialized by :meth:`to_bytes`."""
+        if len(data) < _HEADER.size:
+            raise ValueError("truncated frame header")
+        magic, type_code, format_code, qp, _, sequence, height, width, payload_len = (
+            _HEADER.unpack_from(data)
+        )
+        if magic != _MAGIC:
+            raise ValueError(f"bad frame magic {magic!r}")
+        payload = data[_HEADER.size : _HEADER.size + payload_len]
+        if len(payload) != payload_len:
+            raise ValueError("truncated frame payload")
+        return EncodedFrame(
+            frame_type=_FRAME_TYPE_FROM[type_code],
+            pixel_format=_FORMAT_FROM[format_code],
+            qp=qp,
+            sequence=sequence,
+            height=height,
+            width=width,
+            payload=payload,
+        )

@@ -1,0 +1,449 @@
+"""The video encoder and decoder.
+
+Pipeline per plane (H.26x structure, simplified):
+
+1. predict -- I-frames code pixels directly; P-frames code the residual
+   against a motion-compensated reference (the previous *reconstructed*
+   frame, so encoder and decoder never drift);
+2. transform -- blockwise 8x8 orthonormal DCT;
+3. quantize -- dead-zone uniform quantizer driven by QP, optionally
+   frequency weighted;
+4. entropy-code -- zigzag + coefficient-major DEFLATE.
+
+The encoder exposes two entry points: :meth:`VideoEncoder.encode` (fixed
+QP, used by the LiVo-NoAdapt baseline) and
+:meth:`VideoEncoder.encode_to_target` (target byte budget in, QP chosen
+by the rate controller -- the *direct rate adaptation* the paper's whole
+design leans on).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codec.blocks import merge_blocks, split_blocks
+from repro.codec.dct import forward_dct, inverse_dct
+from repro.codec.entropy import decode_levels, encode_levels
+from repro.codec.frame import EncodedFrame, FrameType, PixelFormat
+from repro.codec.motion import (
+    estimate_motion,
+    gather_prediction,
+    search_offsets,
+    shifted_planes,
+)
+from repro.codec.quant import (
+    QP_MAX,
+    QP_MAX_EXTENDED,
+    QP_MIN,
+    dequantize,
+    quantize,
+    weight_matrix,
+)
+from repro.codec.rate_control import RateController
+from repro.codec.yuv import rgb_to_ycbcr, ycbcr_to_rgb
+
+__all__ = ["VideoCodecConfig", "VideoEncoder", "VideoDecoder"]
+
+_PLANE_HEADER = struct.Struct("<BII")
+
+
+@dataclass(frozen=True)
+class VideoCodecConfig:
+    """Shared encoder/decoder parameters.
+
+    Attributes:
+        block_size: macroblock edge length.
+        gop_size: I-frame period (an INTRA frame every ``gop_size`` frames).
+        search_range: motion search window radius in pixels (0 = zero-motion).
+        effort: entropy-coder effort, 1 (fast) to 9 (thorough).
+        weight_strength: frequency-weighting strength for the luma plane;
+            0 gives flat quantization (used for depth, where high-frequency
+            discontinuities carry geometry).
+        chroma_weight_strength: frequency weighting for chroma planes.
+        chroma_qp_offset: extra QP applied to chroma planes -- codecs
+            "compress the Y-channel at higher bitrates ... because humans
+            are sensitive to luminance distortions" (paper section 3.2).
+        qp_max: largest legal QP for this stream.  8-bit color stays at
+            the standard 51; the 16-bit Y depth mode uses the
+            high-bit-depth extension so rate control has headroom.
+        chroma_subsampling: encode chroma planes at half resolution
+            (4:2:0, the mode production H.265 deployments use).  Off by
+            default so rate/quality calibrations are subsampling-free;
+            see benchmarks/bench_ablation_chroma.py for the trade-off.
+    """
+
+    block_size: int = 8
+    gop_size: int = 30
+    search_range: int = 1
+    effort: int = 6
+    weight_strength: float = 0.6
+    chroma_weight_strength: float = 1.2
+    chroma_qp_offset: int = 6
+    qp_max: int = QP_MAX
+    chroma_subsampling: bool = False
+
+    def __post_init__(self) -> None:
+        if self.block_size < 2:
+            raise ValueError("block_size must be at least 2")
+        if self.gop_size < 1:
+            raise ValueError("gop_size must be at least 1")
+        if self.search_range < 0:
+            raise ValueError("search_range must be non-negative")
+
+    @staticmethod
+    def for_depth(**overrides) -> "VideoCodecConfig":
+        """Preset for the 16-bit depth stream: flat quantization.
+
+        Depth discontinuities are high-frequency content that perceptual
+        weighting would crush, producing exactly the artifacts the paper
+        works to avoid (sections 3.2, 4.5).
+        """
+        params = dict(
+            weight_strength=0.0,
+            chroma_weight_strength=0.0,
+            chroma_qp_offset=0,
+            qp_max=QP_MAX_EXTENDED,
+        )
+        params.update(overrides)
+        return VideoCodecConfig(**params)
+
+
+@dataclass
+class _PlaneCode:
+    """Per-plane coded payload plus its reconstruction."""
+
+    mv_bytes: bytes
+    level_bytes: bytes
+    reconstruction: np.ndarray
+
+
+class _CodecCore:
+    """Plane-level encode/decode shared by encoder and decoder."""
+
+    def __init__(self, config: VideoCodecConfig) -> None:
+        self.config = config
+        self._offsets = search_offsets(config.search_range)
+
+    def plane_weights(self, plane_index: int, pixel_format: PixelFormat) -> np.ndarray | None:
+        strength = (
+            self.config.weight_strength
+            if plane_index == 0
+            else self.config.chroma_weight_strength
+        )
+        if pixel_format is PixelFormat.GRAY16:
+            strength = self.config.weight_strength
+        if strength == 0.0:
+            return None
+        return weight_matrix(self.config.block_size, strength)
+
+    def plane_qp(self, base_qp: int, plane_index: int, pixel_format: PixelFormat) -> int:
+        if pixel_format is PixelFormat.RGB8 and plane_index > 0:
+            return min(self.config.qp_max, base_qp + self.config.chroma_qp_offset)
+        return base_qp
+
+    def encode_plane(
+        self,
+        plane: np.ndarray,
+        reference: np.ndarray | None,
+        qp: int,
+        weights: np.ndarray | None,
+        value_range: tuple[float, float],
+    ) -> _PlaneCode:
+        block_size = self.config.block_size
+        height, width = plane.shape
+        current_blocks = split_blocks(plane, block_size)
+
+        if reference is None:
+            predictor = np.zeros_like(current_blocks)
+            mv_bytes = b""
+        else:
+            shifted = shifted_planes(reference, self._offsets)
+            if len(self._offsets) > 1:
+                mv_index, _ = estimate_motion(plane, shifted, block_size)
+            else:
+                mv_index = np.zeros(current_blocks.shape[0], dtype=np.uint8)
+            predictor = gather_prediction(shifted, mv_index, block_size)
+            mv_bytes = zlib.compress(mv_index.tobytes(), level=self.config.effort)
+
+        residual = current_blocks - predictor
+        levels = quantize(forward_dct(residual), qp, weights)
+        level_bytes = encode_levels(levels, effort=self.config.effort)
+
+        recon_blocks = predictor + inverse_dct(dequantize(levels, qp, weights))
+        reconstruction = np.clip(
+            merge_blocks(recon_blocks, height, width, block_size), *value_range
+        )
+        return _PlaneCode(mv_bytes, level_bytes, reconstruction)
+
+    def decode_plane(
+        self,
+        mv_bytes: bytes,
+        level_bytes: bytes,
+        reference: np.ndarray | None,
+        qp: int,
+        weights: np.ndarray | None,
+        height: int,
+        width: int,
+        value_range: tuple[float, float],
+    ) -> np.ndarray:
+        block_size = self.config.block_size
+        levels = decode_levels(level_bytes)
+
+        if reference is None:
+            predictor = np.zeros_like(levels, dtype=np.float64)
+        else:
+            shifted = shifted_planes(reference, self._offsets)
+            if mv_bytes:
+                mv_index = np.frombuffer(zlib.decompress(mv_bytes), dtype=np.uint8)
+            else:
+                mv_index = np.zeros(levels.shape[0], dtype=np.uint8)
+            predictor = gather_prediction(shifted, mv_index, block_size)
+
+        recon_blocks = predictor + inverse_dct(dequantize(levels, qp, weights))
+        return np.clip(merge_blocks(recon_blocks, height, width, block_size), *value_range)
+
+
+def _downsample_half(plane: np.ndarray) -> np.ndarray:
+    """2x2 average pooling (edge-padded to even dimensions)."""
+    height, width = plane.shape
+    padded = np.pad(plane, ((0, height % 2), (0, width % 2)), mode="edge")
+    return padded.reshape(
+        padded.shape[0] // 2, 2, padded.shape[1] // 2, 2
+    ).mean(axis=(1, 3))
+
+
+def _upsample_double(plane: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Nearest-neighbor 2x upsampling, cropped to (height, width)."""
+    doubled = np.repeat(np.repeat(plane, 2, axis=0), 2, axis=1)
+    return doubled[:height, :width]
+
+
+def _image_planes(
+    image: np.ndarray, chroma_subsampling: bool = False
+) -> tuple[list[np.ndarray], PixelFormat, tuple[float, float]]:
+    """Split an input image into codec planes and identify its format."""
+    image = np.asarray(image)
+    if image.dtype == np.uint8 and image.ndim == 3 and image.shape[2] == 3:
+        ycbcr = rgb_to_ycbcr(image)
+        planes = [ycbcr[..., channel] for channel in range(3)]
+        if chroma_subsampling:
+            planes = [planes[0]] + [_downsample_half(p) for p in planes[1:]]
+        return planes, PixelFormat.RGB8, (0.0, 255.0)
+    if image.dtype == np.uint16 and image.ndim == 2:
+        return [image.astype(np.float64)], PixelFormat.GRAY16, (0.0, 65535.0)
+    raise ValueError(
+        "unsupported image: expected (H, W, 3) uint8 or (H, W) uint16, "
+        f"got shape {image.shape} dtype {image.dtype}"
+    )
+
+
+def _planes_to_image(
+    planes: list[np.ndarray], pixel_format: PixelFormat, chroma_subsampling: bool = False
+) -> np.ndarray:
+    if pixel_format is PixelFormat.RGB8:
+        if chroma_subsampling:
+            height, width = planes[0].shape
+            planes = [planes[0]] + [
+                _upsample_double(p, height, width) for p in planes[1:]
+            ]
+        return ycbcr_to_rgb(np.stack(planes, axis=-1))
+    return np.clip(np.rint(planes[0]), 0, 65535).astype(np.uint16)
+
+
+def _plane_dims(
+    plane_index: int, height: int, width: int,
+    pixel_format: PixelFormat, chroma_subsampling: bool,
+) -> tuple[int, int]:
+    """Stored dimensions of one plane (chroma may be half resolution)."""
+    if (
+        pixel_format is PixelFormat.RGB8
+        and chroma_subsampling
+        and plane_index > 0
+    ):
+        return -(-height // 2), -(-width // 2)
+    return height, width
+
+
+def _pack_planes(codes: list[_PlaneCode]) -> bytes:
+    parts = [struct.pack("<B", len(codes))]
+    for code in codes:
+        parts.append(_PLANE_HEADER.pack(1 if code.mv_bytes else 0,
+                                        len(code.mv_bytes), len(code.level_bytes)))
+        parts.append(code.mv_bytes)
+        parts.append(code.level_bytes)
+    return b"".join(parts)
+
+
+def _unpack_planes(payload: bytes) -> list[tuple[bytes, bytes]]:
+    if not payload:
+        raise ValueError("empty frame payload")
+    count = payload[0]
+    cursor = 1
+    segments = []
+    for _ in range(count):
+        _, mv_len, level_len = _PLANE_HEADER.unpack_from(payload, cursor)
+        cursor += _PLANE_HEADER.size
+        mv_bytes = payload[cursor : cursor + mv_len]
+        cursor += mv_len
+        level_bytes = payload[cursor : cursor + level_len]
+        cursor += level_len
+        segments.append((mv_bytes, level_bytes))
+    return segments
+
+
+class VideoEncoder:
+    """Stateful single-stream encoder."""
+
+    def __init__(
+        self,
+        config: VideoCodecConfig | None = None,
+        rate_controller: RateController | None = None,
+    ) -> None:
+        self.config = config or VideoCodecConfig()
+        self.rate_controller = rate_controller or RateController(qp_max=self.config.qp_max)
+        self._core = _CodecCore(self.config)
+        self._reference: list[np.ndarray] | None = None
+        self._frame_index = 0
+        self.last_reconstruction: np.ndarray | None = None
+
+    def reset(self) -> None:
+        """Drop reference state; the next frame becomes an I-frame."""
+        self._reference = None
+        self._frame_index = 0
+
+    def _next_frame_type(self, force_intra: bool) -> FrameType:
+        if force_intra or self._reference is None:
+            return FrameType.INTRA
+        if self._frame_index % self.config.gop_size == 0:
+            return FrameType.INTRA
+        return FrameType.INTER
+
+    def encode(
+        self, image: np.ndarray, qp: int, force_intra: bool = False
+    ) -> tuple[EncodedFrame, np.ndarray]:
+        """Encode one frame at a fixed QP.
+
+        Returns the encoded frame and its decoded-side reconstruction --
+        bit-identical to what :class:`VideoDecoder` will produce, which is
+        what LiVo's sender uses to estimate encoding quality without a
+        round trip (section 3.3).
+        """
+        if not QP_MIN <= qp <= self.config.qp_max:
+            raise ValueError(
+                f"QP must be within [{QP_MIN}, {self.config.qp_max}], got {qp}"
+            )
+        planes, pixel_format, value_range = _image_planes(
+            image, self.config.chroma_subsampling
+        )
+        height, width = planes[0].shape
+        frame_type = self._next_frame_type(force_intra)
+
+        codes = []
+        for index, plane in enumerate(planes):
+            reference = (
+                self._reference[index]
+                if frame_type is FrameType.INTER and self._reference is not None
+                else None
+            )
+            codes.append(
+                self._core.encode_plane(
+                    plane,
+                    reference,
+                    self._core.plane_qp(qp, index, pixel_format),
+                    self._core.plane_weights(index, pixel_format),
+                    value_range,
+                )
+            )
+
+        self._reference = [code.reconstruction for code in codes]
+        self.last_reconstruction = _planes_to_image(
+            self._reference, pixel_format, self.config.chroma_subsampling
+        )
+
+        frame = EncodedFrame(
+            frame_type=frame_type,
+            pixel_format=pixel_format,
+            qp=qp,
+            sequence=self._frame_index,
+            height=height,
+            width=width,
+            payload=_pack_planes(codes),
+        )
+        self._frame_index += 1
+        return frame, self.last_reconstruction
+
+    def encode_to_target(
+        self, image: np.ndarray, target_bytes: int, force_intra: bool = False
+    ) -> tuple[EncodedFrame, np.ndarray]:
+        """Encode one frame aiming at a byte budget (direct rate adaptation).
+
+        The rate controller proposes a QP from its rate model; after
+        encoding, the observed (QP, size) pair updates the model.  One
+        re-encode is attempted when the first try misses the budget badly,
+        mirroring how production rate control recovers from scene changes.
+        """
+        if target_bytes <= 0:
+            raise ValueError("target_bytes must be positive")
+        qp = self.rate_controller.propose_qp(target_bytes)
+        # Snapshot stream state: a retry must replace the first attempt,
+        # re-predicting from the *previous* frame's reconstruction --
+        # otherwise encoder and decoder reference chains diverge.
+        saved_reference = None if self._reference is None else [p.copy() for p in self._reference]
+        saved_index = self._frame_index
+        frame, reconstruction = self.encode(image, qp, force_intra=force_intra)
+        retry_qp = self.rate_controller.retry_qp(qp, frame.size_bytes, target_bytes)
+        if retry_qp is not None:
+            self._reference = saved_reference
+            self._frame_index = saved_index
+            frame, reconstruction = self.encode(image, retry_qp, force_intra=force_intra)
+            qp = retry_qp
+        self.rate_controller.update(qp, frame.size_bytes, target_bytes)
+        return frame, reconstruction
+
+
+class VideoDecoder:
+    """Stateful single-stream decoder; must mirror the encoder's config."""
+
+    def __init__(self, config: VideoCodecConfig | None = None) -> None:
+        self.config = config or VideoCodecConfig()
+        self._core = _CodecCore(self.config)
+        self._reference: list[np.ndarray] | None = None
+
+    def reset(self) -> None:
+        """Drop reference state (e.g. after a PLI-triggered keyframe)."""
+        self._reference = None
+
+    def decode(self, frame: EncodedFrame) -> np.ndarray:
+        """Decode one frame to an image array."""
+        if frame.frame_type is FrameType.INTER and self._reference is None:
+            raise ValueError("cannot decode an INTER frame without a reference")
+        value_range = (0.0, 255.0) if frame.pixel_format is PixelFormat.RGB8 else (0.0, 65535.0)
+        segments = _unpack_planes(frame.payload)
+
+        planes = []
+        for index, (mv_bytes, level_bytes) in enumerate(segments):
+            reference = (
+                self._reference[index] if frame.frame_type is FrameType.INTER else None
+            )
+            plane_height, plane_width = _plane_dims(
+                index, frame.height, frame.width, frame.pixel_format,
+                self.config.chroma_subsampling,
+            )
+            planes.append(
+                self._core.decode_plane(
+                    mv_bytes,
+                    level_bytes,
+                    reference,
+                    self._core.plane_qp(frame.qp, index, frame.pixel_format),
+                    self._core.plane_weights(index, frame.pixel_format),
+                    plane_height,
+                    plane_width,
+                    value_range,
+                )
+            )
+        self._reference = planes
+        return _planes_to_image(planes, frame.pixel_format, self.config.chroma_subsampling)

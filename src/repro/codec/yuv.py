@@ -1,0 +1,47 @@
+"""Color-space conversion.
+
+LiVo's color stream is encoded in YUV (paper: BGRA input to an H.265
+encoder, which converts internally); its depth stream uses a 16-bit-Y
+YUV variant (Y444_16LE) with U and V pinned to a constant (section 3.2).
+We implement BT.601 full-range RGB <-> YCbCr in float64 with exact
+matrix inversion, so conversion error stays below quantization error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rgb_to_ycbcr", "ycbcr_to_rgb"]
+
+# BT.601 luma coefficients (full range).
+_KR, _KG, _KB = 0.299, 0.587, 0.114
+
+_RGB_TO_YCBCR = np.array(
+    [
+        [_KR, _KG, _KB],
+        [-0.5 * _KR / (1 - _KB), -0.5 * _KG / (1 - _KB), 0.5],
+        [0.5, -0.5 * _KG / (1 - _KR), -0.5 * _KB / (1 - _KR)],
+    ]
+)
+_YCBCR_TO_RGB = np.linalg.inv(_RGB_TO_YCBCR)
+_CHROMA_OFFSET = np.array([0.0, 128.0, 128.0])
+
+
+def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
+    """Convert an ``(H, W, 3)`` uint8 RGB image to float64 YCbCr.
+
+    Output channels: Y in [0, 255], Cb/Cr centered at 128.
+    """
+    rgb = np.asarray(rgb)
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) image, got {rgb.shape}")
+    return rgb.astype(np.float64) @ _RGB_TO_YCBCR.T + _CHROMA_OFFSET
+
+
+def ycbcr_to_rgb(ycbcr: np.ndarray) -> np.ndarray:
+    """Convert float64 YCbCr back to uint8 RGB with clipping."""
+    ycbcr = np.asarray(ycbcr, dtype=np.float64)
+    if ycbcr.ndim != 3 or ycbcr.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) image, got {ycbcr.shape}")
+    rgb = (ycbcr - _CHROMA_OFFSET) @ _YCBCR_TO_RGB.T
+    return np.clip(np.rint(rgb), 0, 255).astype(np.uint8)

@@ -1,0 +1,38 @@
+"""LiVo core: the paper's primary contribution.
+
+The sender-to-receiver pipeline of Fig. 2 -- culling, tiling, depth
+encoding, adaptive bandwidth splitting, WebRTC-like transmission,
+receiver reconstruction -- plus the replay-based session driver used
+throughout the evaluation and the scheme variants it compares
+(LiVo, LiVo-NoCull, LiVo-NoAdapt, Draco-Oracle, MeshReduce).
+"""
+
+from repro.core.bandwidth_split import SplitController
+from repro.core.config import SchemeFlags, SessionConfig
+from repro.core.receiver import LiVoReceiver
+from repro.core.schemes import SCHEMES, SchemeSpec
+from repro.core.sender import LiVoSender, SenderResult
+from repro.core.session import (
+    DracoOracleSession,
+    LiVoSession,
+    MeshReduceSession,
+    ground_truth_cloud,
+)
+from repro.core.stats import FrameRecord, SessionReport
+
+__all__ = [
+    "SplitController",
+    "SchemeFlags",
+    "SessionConfig",
+    "LiVoReceiver",
+    "SCHEMES",
+    "SchemeSpec",
+    "LiVoSender",
+    "SenderResult",
+    "DracoOracleSession",
+    "LiVoSession",
+    "MeshReduceSession",
+    "ground_truth_cloud",
+    "FrameRecord",
+    "SessionReport",
+]

@@ -1,0 +1,102 @@
+"""Configuration for LiVo sessions.
+
+All the paper's design constants live here with their section
+references, so benches and tests can cite a single source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.transport.link import LinkConfig
+
+__all__ = ["SchemeFlags", "SessionConfig"]
+
+# Paper Table 3: average full-scene raw frame size the evaluation videos
+# have at full resolution; used to auto-scale bandwidth traces to our
+# reduced-resolution frames so compression pressure is equivalent.
+PAPER_FRAME_SIZE_BYTES = 10.8e6
+
+
+@dataclass(frozen=True)
+class SchemeFlags:
+    """What a scheme variant enables.
+
+    LiVo = culling + adaptation; LiVo-NoCull = adaptation only;
+    LiVo-NoAdapt = neither, with Starline's fixed QPs (section 4.5:
+    "We set fixed color QP to 22 and depth QP to 14").
+    """
+
+    culling: bool = True
+    adaptation: bool = True
+    fixed_color_qp: int = 22
+    fixed_depth_qp: int = 14
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything a replay session needs."""
+
+    # Capture (section 3.1/4.1: 10 Kinect-class cameras at 30 fps).
+    num_cameras: int = 10
+    camera_width: int = 80
+    camera_height: int = 60
+    fps: float = 30.0
+    scene_sample_budget: int = 60_000
+
+    # Scheme variant.
+    scheme: SchemeFlags = field(default_factory=SchemeFlags)
+
+    # Bandwidth splitting (section 3.3).
+    split_initial: float = 0.7
+    split_min: float = 0.5        # "the lower limit ensures depth always
+    split_max: float = 0.9        #  gets more bandwidth than color"
+    split_step: float = 0.005     # delta, "empirically chosen"
+    split_epsilon: float = 0.5    # RMSE balance threshold (8-bit units)
+    rmse_every_k: int = 3         # "computing RMSE every k frames (k = 3)"
+
+    # Depth (section 3.2).
+    max_depth_mm: int = 6000
+
+    # Culling (section 3.4).
+    guard_band_m: float = 0.20    # "an epsilon of 20 cm ... sweet-spot"
+    pose_feedback_lag_frames: int = 3
+
+    # Codec.
+    gop_size: int = 30
+    codec_search_range: int = 1
+
+    # Transport (appendix A.1).
+    jitter_target_s: float = 0.1  # "we use 100 ms"
+    link: LinkConfig = field(default_factory=LinkConfig)
+    playout_delay_s: float = 0.25  # end-to-end budget, 200-300 ms target
+
+    # Receiver rendering (appendix A.1).
+    render_voxel_m: float = 0.03
+
+    # Evaluation.
+    quality_every: int = 3        # PointSSIM every Nth rendered frame
+    trace_scale: float | None = None  # None = auto from raw frame size
+    # Our pure-Python block codec needs roughly this factor more bits
+    # than production H.265 for equal distortion; the auto trace scale is
+    # multiplied by it so compression *pressure* matches the paper's
+    # H.265 setting.  Ratios (utilization, relative quality) are
+    # unaffected.  Documented in DESIGN.md.
+    codec_efficiency_compensation: float = 2.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.split_min < self.split_max <= 1.0:
+            raise ValueError("require 0 < split_min < split_max <= 1")
+        if not self.split_min <= self.split_initial <= self.split_max:
+            raise ValueError("split_initial must lie within the split bounds")
+        if self.split_step <= 0:
+            raise ValueError("split_step must be positive")
+        if self.rmse_every_k < 1:
+            raise ValueError("rmse_every_k must be at least 1")
+        if self.fps <= 0:
+            raise ValueError("fps must be positive")
+
+    @property
+    def frame_interval_s(self) -> float:
+        """The inter-frame interval (1/30 s at 30 fps)."""
+        return 1.0 / self.fps

@@ -1,0 +1,167 @@
+"""Multi-way conferencing: one sender, several receivers.
+
+The paper builds two-way conferencing and notes that "multi-way
+conferencing can be built using LiVo, but presents opportunities for
+optimizations (e.g., across receivers from a single sender) that we
+leave to future work" (section 3.1).  This module implements the
+natural design space:
+
+- **unicast**: one full sender pipeline per receiver -- each receiver
+  gets a stream culled to exactly its own predicted frustum.  Quality
+  is per-receiver optimal; encoding cost and uplink bandwidth scale
+  linearly with receivers.
+- **shared** (the cross-receiver optimization): cull once to the
+  *union* of all receivers' guard-banded frustums and encode a single
+  pair of streams every receiver consumes.  One encode, one uplink
+  stream; each receiver re-culls locally at render time (which LiVo's
+  receiver does anyway, appendix A.1).
+
+``MultiwaySender`` exposes both, so the trade-off the paper gestures at
+can be measured (see ``benchmarks/bench_multiway_ablation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.capture.rgbd import MultiViewFrame
+from repro.core.config import SessionConfig
+from repro.core.sender import LiVoSender, SenderResult
+from repro.geometry.camera import RGBDCamera
+from repro.geometry.frustum import Frustum
+from repro.prediction.pose import Pose
+from repro.prediction.predictor import FrustumPredictor, ViewingDevice
+
+__all__ = ["MultiwaySender", "MultiwayResult", "cull_views_union"]
+
+
+def cull_views_union(
+    frame: MultiViewFrame,
+    cameras: list[RGBDCamera],
+    frustums: list[Frustum],
+) -> MultiViewFrame:
+    """Zero pixels outside *every* given frustum (keep the union)."""
+    if not frustums:
+        raise ValueError("need at least one frustum")
+    if len(frame.views) != len(cameras):
+        raise ValueError("views/cameras mismatch")
+    culled_views = []
+    for view, camera in zip(frame.views, cameras):
+        points, valid = camera.local_points(view.depth_mm)
+        keep = np.zeros(valid.shape, dtype=bool)
+        for frustum in frustums:
+            local = frustum.transformed(camera.extrinsics.world_to_camera)
+            keep |= local.contains_grid(points)
+            if keep.all():
+                break
+        culled_views.append(view.culled(keep & valid))
+    return MultiViewFrame(
+        culled_views, sequence=frame.sequence, timestamp_s=frame.timestamp_s
+    )
+
+
+@dataclass
+class MultiwayResult:
+    """Outcome of one multi-way capture: per-receiver or shared."""
+
+    mode: str
+    per_receiver: dict[str, SenderResult] | None
+    shared: SenderResult | None
+
+    @property
+    def total_bytes(self) -> int:
+        """Uplink bytes this capture costs across all streams."""
+        if self.per_receiver is not None:
+            return sum(result.total_bytes for result in self.per_receiver.values())
+        assert self.shared is not None
+        return self.shared.total_bytes
+
+    @property
+    def encoder_runs(self) -> int:
+        """How many (color+depth) encoder invocations were needed."""
+        if self.per_receiver is not None:
+            return 2 * len(self.per_receiver)
+        return 2
+
+
+class MultiwaySender:
+    """A LiVo sender serving several receivers at once."""
+
+    def __init__(
+        self,
+        cameras: list[RGBDCamera],
+        config: SessionConfig,
+        receiver_names: list[str],
+        mode: str = "shared",
+        device: ViewingDevice | None = None,
+    ) -> None:
+        if not receiver_names:
+            raise ValueError("need at least one receiver")
+        if len(set(receiver_names)) != len(receiver_names):
+            raise ValueError("receiver names must be unique")
+        if mode not in ("shared", "unicast"):
+            raise ValueError("mode must be 'shared' or 'unicast'")
+        self.cameras = cameras
+        self.config = config
+        self.mode = mode
+        self.device = device or ViewingDevice()
+        self.predictors = {
+            name: FrustumPredictor(self.device, guard_band_m=config.guard_band_m)
+            for name in receiver_names
+        }
+        if mode == "unicast":
+            self._senders = {
+                name: LiVoSender(cameras, config, self.device) for name in receiver_names
+            }
+            self._shared_sender = None
+        else:
+            self._senders = {}
+            self._shared_sender = LiVoSender(cameras, config, self.device)
+
+    @property
+    def receiver_names(self) -> list[str]:
+        """Receivers currently served."""
+        return list(self.predictors)
+
+    def observe_pose(self, receiver: str, pose: Pose, timestamp_s: float) -> None:
+        """Fold in a pose report from one receiver."""
+        self.predictors[receiver].observe(pose, timestamp_s)
+        if self.mode == "unicast":
+            self._senders[receiver].observe_pose(pose, timestamp_s)
+
+    def process(
+        self,
+        frame: MultiViewFrame,
+        target_rate_bps: float,
+        prediction_horizon_s: float,
+    ) -> MultiwayResult:
+        """Run one capture for all receivers.
+
+        In unicast mode each receiver's sender gets the full target rate
+        on its own (virtual) uplink; in shared mode the single stream
+        gets it once.
+        """
+        if self.mode == "unicast":
+            results = {
+                name: sender.process(frame, target_rate_bps, prediction_horizon_s)
+                for name, sender in self._senders.items()
+            }
+            return MultiwayResult("unicast", results, None)
+
+        assert self._shared_sender is not None
+        ready = [p for p in self.predictors.values() if p.ready]
+        if ready:
+            frustums = [
+                predictor.predict_frustum(prediction_horizon_s) for predictor in ready
+            ]
+            culled = cull_views_union(frame, self.cameras, frustums)
+        else:
+            culled = frame
+        # The shared sender's internal predictor is never fed poses, so
+        # it stays not-ready and will not re-cull the pre-culled frame.
+        shared = self._shared_sender.process(
+            culled, target_rate_bps, prediction_horizon_s
+        )
+        return MultiwayResult("shared", None, shared)

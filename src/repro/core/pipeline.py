@@ -1,0 +1,156 @@
+"""Staged-pipeline timing model (appendix A.1, "Pipelining and parallelism").
+
+"To ensure frame-rate processing, LiVo consists of several stages that
+run in parallel, and each stage incurs a delay per frame of less than
+one inter-frame interval.  Each stage has a dedicated thread and is
+connected to the next stage via a small inter-stage buffer."
+
+This module simulates exactly that execution model: a chain of stages,
+each a single-server queue with its own (possibly stochastic) per-frame
+service time, fed at the capture rate with a bounded admission buffer.
+It answers the two questions the paper's claim rests on:
+
+- **throughput**: the pipeline sustains the capture rate iff every
+  stage's service time stays under the inter-frame interval;
+- **latency**: steady-state per-frame latency is the *sum* of stage
+  service times (pipelining hides none of the per-frame work, it only
+  overlaps different frames), plus queueing if any stage runs slow.
+
+The Table 6 bench uses the calibrated per-stage constants; the tests
+verify the queueing behaviour itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PipelineStage", "StagedPipeline", "PipelineRun"]
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One pipeline stage: a dedicated worker thread.
+
+    Attributes:
+        name: stage label (capture, view generation, tiling, ...).
+        service_time_s: mean per-frame processing time.
+        jitter_s: uniform +/- jitter applied per frame.
+    """
+
+    name: str
+    service_time_s: float
+    jitter_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.service_time_s < 0 or self.jitter_s < 0:
+            raise ValueError("times must be non-negative")
+        if self.jitter_s > self.service_time_s:
+            raise ValueError("jitter cannot exceed the mean service time")
+
+
+@dataclass
+class PipelineRun:
+    """Outcome of pushing N frames through the pipeline."""
+
+    completion_times_s: np.ndarray      # when each accepted frame left the last stage
+    input_times_s: np.ndarray           # when each accepted frame was captured
+    drops: int                          # frames dropped at the admission buffer
+
+    @property
+    def latencies_s(self) -> np.ndarray:
+        """Per-frame end-to-end processing latency."""
+        return self.completion_times_s - self.input_times_s
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Average processing latency."""
+        return float(self.latencies_s.mean()) if len(self.latencies_s) else 0.0
+
+    def throughput_fps(self) -> float:
+        """Achieved output rate over the run."""
+        if len(self.completion_times_s) < 2:
+            return 0.0
+        span = self.completion_times_s[-1] - self.completion_times_s[0]
+        if span <= 0:
+            return 0.0
+        return (len(self.completion_times_s) - 1) / span
+
+
+class StagedPipeline:
+    """A chain of single-worker stages fed at the capture rate.
+
+    A frame starts stage ``s`` when both (a) it has finished stage
+    ``s-1`` and (b) the stage's worker finished the previous frame --
+    the classic tandem-queue recurrence, exact for this topology.
+    Frames are dropped at admission when the first stage is more than
+    ``admission_buffer`` frames behind (a real capture thread drops).
+    """
+
+    def __init__(
+        self,
+        stages: list[PipelineStage],
+        admission_buffer: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if not stages:
+            raise ValueError("need at least one stage")
+        if admission_buffer < 1:
+            raise ValueError("admission_buffer must be at least 1")
+        self.stages = list(stages)
+        self.admission_buffer = admission_buffer
+        self._seed = seed
+
+    def run(self, num_frames: int, fps: float) -> PipelineRun:
+        """Push ``num_frames`` frames captured at ``fps`` through."""
+        if num_frames <= 0 or fps <= 0:
+            raise ValueError("num_frames and fps must be positive")
+        rng = np.random.default_rng(self._seed)
+        interval = 1.0 / fps
+        arrivals = np.arange(num_frames) * interval
+
+        worker_free = np.zeros(len(self.stages))
+        accepted_inputs: list[float] = []
+        completions: list[float] = []
+        drops = 0
+        # Total frames the pipeline can hold: one in service per stage
+        # plus the small inter-stage buffers (appendix A.1).
+        capacity = len(self.stages) + self.admission_buffer
+
+        for arrival in arrivals:
+            in_flight = sum(1 for done in completions if done > arrival)
+            if in_flight >= capacity:
+                drops += 1
+                continue
+            ready = float(arrival)
+            for index, stage in enumerate(self.stages):
+                start = max(ready, worker_free[index])
+                duration = stage.service_time_s
+                if stage.jitter_s > 0:
+                    duration += float(rng.uniform(-stage.jitter_s, stage.jitter_s))
+                ready = start + duration
+                worker_free[index] = ready
+            accepted_inputs.append(float(arrival))
+            completions.append(ready)
+
+        return PipelineRun(
+            completion_times_s=np.array(completions),
+            input_times_s=np.array(accepted_inputs),
+            drops=drops,
+        )
+
+    def sum_of_service_times(self) -> float:
+        """Steady-state latency lower bound: the sum of stage means."""
+        return sum(stage.service_time_s for stage in self.stages)
+
+    def bottleneck(self) -> PipelineStage:
+        """The stage bounding throughput."""
+        return max(self.stages, key=lambda stage: stage.service_time_s)
+
+    def sustains(self, fps: float) -> bool:
+        """The paper's condition: every stage under one frame interval."""
+        interval = 1.0 / fps
+        return all(
+            stage.service_time_s + stage.jitter_s <= interval for stage in self.stages
+        )

@@ -1,0 +1,124 @@
+"""The LiVo receiver pipeline (right half of Fig. 2, appendix A.1).
+
+Decodes the color and depth streams, re-synchronizes them by the
+embedded sequence marker, unprojects each camera tile into the world
+frame using the camera parameters exchanged at setup, merges into the
+reconstructed point cloud, voxelizes, and re-culls to the viewer's
+actual (current) frustum before rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codec.frame import EncodedFrame, FrameType
+from repro.codec.video import VideoCodecConfig, VideoDecoder
+from repro.core.config import SessionConfig
+from repro.depthcodec.scaling import unscale_depth
+from repro.geometry.camera import RGBDCamera
+from repro.geometry.frustum import Frustum
+from repro.geometry.pointcloud import PointCloud
+from repro.geometry.voxel import voxel_downsample
+from repro.tiling.tiler import TileLayout, Tiler
+
+__all__ = ["LiVoReceiver", "DecodedPair"]
+
+
+@dataclass
+class DecodedPair:
+    """A decoded, re-synchronized (color, depth) tile pair."""
+
+    sequence: int
+    color_tiles: list[np.ndarray]
+    depth_tiles_mm: list[np.ndarray]
+
+
+class LiVoReceiver:
+    """Stateful receiver: decode + untile + reconstruct + render prep."""
+
+    def __init__(self, cameras: list[RGBDCamera], config: SessionConfig) -> None:
+        self.cameras = cameras
+        self.config = config
+        intrinsics = cameras[0].intrinsics
+        self.layout = TileLayout.for_cameras(
+            len(cameras), intrinsics.height, intrinsics.width
+        )
+        self.color_tiler = Tiler(self.layout, is_color=True)
+        self.depth_tiler = Tiler(self.layout, is_color=False)
+        self.color_decoder = VideoDecoder(
+            VideoCodecConfig(gop_size=config.gop_size, search_range=config.codec_search_range)
+        )
+        self.depth_decoder = VideoDecoder(
+            VideoCodecConfig.for_depth(
+                gop_size=config.gop_size, search_range=config.codec_search_range
+            )
+        )
+        self._last_color_sequence: int | None = None
+        self._last_depth_sequence: int | None = None
+
+    def _chain_ok(self, last: int | None, frame: EncodedFrame) -> bool:
+        """A frame is decodable iff it's INTRA or continues the chain."""
+        if frame.frame_type is FrameType.INTRA:
+            return True
+        return last is not None and frame.sequence == last + 1
+
+    def can_decode(self, color: EncodedFrame, depth: EncodedFrame) -> bool:
+        """Whether both streams' reference chains admit this pair."""
+        return self._chain_ok(self._last_color_sequence, color) and self._chain_ok(
+            self._last_depth_sequence, depth
+        )
+
+    def decode_pair(self, color: EncodedFrame, depth: EncodedFrame) -> DecodedPair:
+        """Decode a pair and re-synchronize via the embedded markers.
+
+        Raises ValueError if the pair breaks the prediction chain or the
+        decoded markers disagree (streams out of sync).
+        """
+        if not self.can_decode(color, depth):
+            raise ValueError(
+                "reference chain broken; wait for a keyframe (PLI recovery)"
+            )
+        if color.frame_type is FrameType.INTRA:
+            self.color_decoder.reset()
+        if depth.frame_type is FrameType.INTRA:
+            self.depth_decoder.reset()
+        color_image = self.color_decoder.decode(color)
+        depth_image = self.depth_decoder.decode(depth)
+        self._last_color_sequence = color.sequence
+        self._last_depth_sequence = depth.sequence
+
+        color_tiles, color_marker = self.color_tiler.decompose(color_image)
+        depth_tiles_scaled, depth_marker = self.depth_tiler.decompose(depth_image)
+        if color_marker != depth_marker:
+            raise ValueError(
+                f"stream desynchronization: color marker {color_marker} != "
+                f"depth marker {depth_marker}"
+            )
+        depth_tiles_mm = [
+            unscale_depth(tile, self.config.max_depth_mm) for tile in depth_tiles_scaled
+        ]
+        return DecodedPair(color_marker, color_tiles, depth_tiles_mm)
+
+    def reconstruct(self, pair: DecodedPair) -> PointCloud:
+        """Unproject every camera tile and merge into one point cloud."""
+        clouds = [
+            camera.unproject(depth, color)
+            for camera, depth, color in zip(
+                self.cameras, pair.depth_tiles_mm, pair.color_tiles
+            )
+        ]
+        return PointCloud.merge(clouds)
+
+    def render_view(self, cloud: PointCloud, actual_frustum: Frustum) -> PointCloud:
+        """Voxelize then re-cull to the viewer's current frustum.
+
+        This is the receiver-side render prep of appendix A.1: the
+        received cloud may include guard-band content; rendering culls
+        it to the actual view and voxelizes to bound draw cost.
+        """
+        if cloud.is_empty:
+            return cloud
+        voxelized = voxel_downsample(cloud, self.config.render_voxel_m)
+        return voxelized.select(actual_frustum.contains(voxelized.positions))

@@ -1,0 +1,82 @@
+"""Scheme registry: the systems the evaluation compares (Table 2 rows).
+
+Each entry records the capability columns of Table 2 for the schemes
+this repository implements, plus how to configure a LiVo-variant
+session for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SchemeFlags
+
+__all__ = ["SchemeSpec", "SCHEMES"]
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """One comparison scheme and its Table 2 capability row."""
+
+    name: str
+    kind: str                     # Conferencing / Live / On-demand
+    compression: str              # "2D" or "3D"
+    content: str
+    bandwidth_adaptive: str       # Direct / Indirect / No
+    fps: int
+    culls: bool
+    flags: SchemeFlags | None     # None for non-LiVo pipelines
+
+
+SCHEMES: dict[str, SchemeSpec] = {
+    "LiVo": SchemeSpec(
+        name="LiVo",
+        kind="Conferencing",
+        compression="2D",
+        content="Full-scene",
+        bandwidth_adaptive="Direct",
+        fps=30,
+        culls=True,
+        flags=SchemeFlags(culling=True, adaptation=True),
+    ),
+    "LiVo-NoCull": SchemeSpec(
+        name="LiVo-NoCull",
+        kind="Conferencing",
+        compression="2D",
+        content="Full-scene",
+        bandwidth_adaptive="Direct",
+        fps=30,
+        culls=False,
+        flags=SchemeFlags(culling=False, adaptation=True),
+    ),
+    "LiVo-NoAdapt": SchemeSpec(
+        name="LiVo-NoAdapt",
+        kind="Conferencing",
+        compression="2D",
+        content="Full-scene",
+        bandwidth_adaptive="No",
+        fps=30,
+        culls=False,
+        flags=SchemeFlags(culling=False, adaptation=False),
+    ),
+    "Draco-Oracle": SchemeSpec(
+        name="Draco-Oracle",
+        kind="Live",
+        compression="3D",
+        content="Full-scene",
+        bandwidth_adaptive="Oracle",
+        fps=15,
+        culls=True,   # perfect culling, by construction (section 4.1)
+        flags=None,
+    ),
+    "MeshReduce": SchemeSpec(
+        name="MeshReduce",
+        kind="Live",
+        compression="3D",
+        content="Full-scene",
+        bandwidth_adaptive="Indirect",
+        fps=15,
+        culls=False,
+        flags=None,
+    ),
+}

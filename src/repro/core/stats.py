@@ -1,0 +1,182 @@
+"""Session statistics: the numbers every table and figure is built from."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FrameRecord", "SessionReport"]
+
+
+@dataclass
+class FrameRecord:
+    """Per-frame outcome of a replayed session."""
+
+    sequence: int
+    capture_time_s: float
+    rendered: bool
+    stalled: bool
+    wire_bytes: int = 0
+    split: float | None = None
+    culled_points: int = 0
+    total_points: int = 0
+    delivery_time_s: float | None = None
+    pssim_geometry: float | None = None
+    pssim_color: float | None = None
+
+
+@dataclass
+class SessionReport:
+    """Aggregated outcome of one (scheme, video, user trace, net trace) run."""
+
+    scheme: str
+    video: str
+    user_trace: str
+    network_trace: str
+    fps_target: float
+    duration_s: float
+    frames: list[FrameRecord] = field(default_factory=list)
+    mean_capacity_mbps: float = 0.0
+    trace_scale: float = 1.0
+
+    # ------------------------------------------------------------------
+    # Stalls and frame rate
+    # ------------------------------------------------------------------
+
+    @property
+    def num_frames(self) -> int:
+        """Frames offered to the pipeline."""
+        return len(self.frames)
+
+    @property
+    def stall_rate(self) -> float:
+        """Fraction of frames that stalled (paper Fig. 11)."""
+        if not self.frames:
+            return 0.0
+        return sum(1 for f in self.frames if f.stalled) / len(self.frames)
+
+    @property
+    def rendered_frames(self) -> int:
+        """Frames that made it to the display."""
+        return sum(1 for f in self.frames if f.rendered)
+
+    @property
+    def mean_fps(self) -> float:
+        """Achieved rendering frame rate (paper Fig. 13/14)."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.rendered_frames / self.duration_s
+
+    def fps_series(self, window_s: float = 1.0) -> np.ndarray:
+        """Per-window rendered-fps series (for fps std-dev reporting)."""
+        if not self.frames:
+            return np.zeros(0)
+        num_windows = max(1, int(np.ceil(self.duration_s / window_s)))
+        counts = np.zeros(num_windows)
+        for frame in self.frames:
+            if frame.rendered:
+                index = min(int(frame.capture_time_s / window_s), num_windows - 1)
+                counts[index] += 1
+        return counts / window_s
+
+    # ------------------------------------------------------------------
+    # Throughput and utilization (Table 1)
+    # ------------------------------------------------------------------
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Mean sent rate over the session, in the scaled trace domain."""
+        if self.duration_s <= 0:
+            return 0.0
+        total_bytes = sum(f.wire_bytes for f in self.frames)
+        return total_bytes * 8.0 / self.duration_s / 1e6
+
+    @property
+    def utilization(self) -> float:
+        """Throughput / mean link capacity (Table 1's Util column)."""
+        if self.mean_capacity_mbps <= 0:
+            return 0.0
+        return self.throughput_mbps / self.mean_capacity_mbps
+
+    @property
+    def paper_equivalent_throughput_mbps(self) -> float:
+        """Throughput mapped back to the paper's full-resolution domain."""
+        if self.trace_scale <= 0:
+            return self.throughput_mbps
+        return self.throughput_mbps / self.trace_scale
+
+    # ------------------------------------------------------------------
+    # Quality
+    # ------------------------------------------------------------------
+
+    def _quality_values(self, attribute: str, stalls_as_zero: bool) -> np.ndarray:
+        values = []
+        for frame in self.frames:
+            value = getattr(frame, attribute)
+            if value is not None:
+                values.append(value)
+            elif stalls_as_zero and frame.stalled:
+                values.append(0.0)
+        return np.array(values)
+
+    def pssim_geometry(self, stalls_as_zero: bool = True) -> tuple[float, float]:
+        """(mean, std) geometry PSSIM; stalls count as 0 like the paper."""
+        values = self._quality_values("pssim_geometry", stalls_as_zero)
+        if len(values) == 0:
+            return 0.0, 0.0
+        return float(values.mean()), float(values.std())
+
+    def pssim_color(self, stalls_as_zero: bool = True) -> tuple[float, float]:
+        """(mean, std) color PSSIM."""
+        values = self._quality_values("pssim_color", stalls_as_zero)
+        if len(values) == 0:
+            return 0.0, 0.0
+        return float(values.mean()), float(values.std())
+
+    def latency_stats(self) -> tuple[float, float, float]:
+        """(mean, p50, p95) network delivery latency in seconds.
+
+        Measured capture-to-last-byte over delivered frames; the
+        transmission row of Table 6 adds the jitter-buffer target on
+        top of this.
+        """
+        latencies = np.array(
+            [
+                frame.delivery_time_s - frame.capture_time_s
+                for frame in self.frames
+                if frame.delivery_time_s is not None
+            ]
+        )
+        if len(latencies) == 0:
+            return 0.0, 0.0, 0.0
+        return (
+            float(latencies.mean()),
+            float(np.percentile(latencies, 50)),
+            float(np.percentile(latencies, 95)),
+        )
+
+    @property
+    def mean_split(self) -> float:
+        """Average depth-stream bandwidth fraction over the session."""
+        splits = [f.split for f in self.frames if f.split is not None]
+        return float(np.mean(splits)) if splits else 0.0
+
+    @property
+    def mean_culled_fraction(self) -> float:
+        """Average fraction of points surviving the cull."""
+        fractions = [
+            f.culled_points / f.total_points for f in self.frames if f.total_points > 0
+        ]
+        return float(np.mean(fractions)) if fractions else 1.0
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        geometry = self.pssim_geometry()
+        color = self.pssim_color()
+        return (
+            f"{self.scheme} on {self.video}/{self.network_trace}: "
+            f"fps={self.mean_fps:.1f} stalls={self.stall_rate * 100:.1f}% "
+            f"PSSIM(geom)={geometry[0]:.1f} PSSIM(color)={color[0]:.1f} "
+            f"tput={self.throughput_mbps:.2f} Mbps util={self.utilization * 100:.1f}%"
+        )

@@ -1,0 +1,49 @@
+"""Depth scaling to the full 16-bit range.
+
+Paper section 3.2: "we scale the depth value to occupy the entire 16-bit
+range, i.e., scaled depth value for 0 mm remains at 0 while it is
+2^16 - 1 for 6000 mm.  This approach incurs lower depth distortion:
+codecs quantize depth values, and, for a given quantization step size,
+more unscaled depth values fall into one quantization bin than scaled
+depth values."
+
+Zero is the sensor's invalid-pixel marker and must stay exactly zero
+through scale/unscale so culled and invalid pixels survive the codec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DEFAULT_MAX_DEPTH_MM", "scale_depth", "unscale_depth", "scale_factor"]
+
+# Kinect-class sensors: 5-6 m max range, millimeter resolution.
+DEFAULT_MAX_DEPTH_MM = 6000
+
+_UINT16_MAX = 65535
+
+
+def scale_factor(max_depth_mm: int = DEFAULT_MAX_DEPTH_MM) -> float:
+    """Multiplier mapping [0, max_depth_mm] onto [0, 65535]."""
+    if max_depth_mm <= 0:
+        raise ValueError("max_depth_mm must be positive")
+    return _UINT16_MAX / max_depth_mm
+
+
+def scale_depth(depth_mm: np.ndarray, max_depth_mm: int = DEFAULT_MAX_DEPTH_MM) -> np.ndarray:
+    """Scale millimeter depth to span the full uint16 range.
+
+    Values above ``max_depth_mm`` saturate (real sensors clip range too).
+    """
+    depth_mm = np.asarray(depth_mm)
+    factor = scale_factor(max_depth_mm)
+    scaled = np.clip(np.rint(depth_mm.astype(np.float64) * factor), 0, _UINT16_MAX)
+    return scaled.astype(np.uint16)
+
+
+def unscale_depth(scaled: np.ndarray, max_depth_mm: int = DEFAULT_MAX_DEPTH_MM) -> np.ndarray:
+    """Invert :func:`scale_depth` back to millimeters."""
+    scaled = np.asarray(scaled)
+    factor = scale_factor(max_depth_mm)
+    depth = np.rint(scaled.astype(np.float64) / factor)
+    return np.clip(depth, 0, _UINT16_MAX).astype(np.uint16)

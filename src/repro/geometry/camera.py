@@ -1,0 +1,250 @@
+"""Pinhole RGB-D camera model.
+
+Models the commodity RGB-D cameras the paper builds on (Azure Kinect DK,
+Kinect v2, Intel RealSense): a pinhole intrinsic model at the *depth*
+resolution (LiVo downsamples color to depth resolution before tiling,
+paper section 3.2), plus a rigid extrinsic pose produced by one-shot
+calibration (Zhang's method in the paper; exact by construction here).
+
+The two key vectorized operations are:
+
+- :meth:`RGBDCamera.unproject` -- depth image -> local/world point cloud
+  (receiver-side reconstruction, appendix A.1);
+- :meth:`RGBDCamera.project` -- world points -> pixel coordinates
+  (sender-side synthetic capture and culling tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.pointcloud import PointCloud
+from repro.geometry.transforms import invert_transform, look_at, transform_points
+
+__all__ = ["CameraIntrinsics", "CameraExtrinsics", "RGBDCamera"]
+
+# Kinect-class depth cameras sense roughly 0.25 m to 6 m (paper section 3.2:
+# "maximum depth range of 5-6 meters ... depth values can range 0-6000 at
+# millimeter resolution").
+DEFAULT_MIN_DEPTH_M = 0.25
+DEFAULT_MAX_DEPTH_M = 6.0
+
+
+@dataclass(frozen=True)
+class CameraIntrinsics:
+    """Pinhole intrinsics at depth resolution.
+
+    Attributes:
+        width: image width in pixels.
+        height: image height in pixels.
+        fx, fy: focal lengths in pixels.
+        cx, cy: principal point in pixels.
+    """
+
+    width: int
+    height: int
+    fx: float
+    fy: float
+    cx: float
+    cy: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("image dimensions must be positive")
+        if self.fx <= 0 or self.fy <= 0:
+            raise ValueError("focal lengths must be positive")
+
+    @staticmethod
+    def from_fov(width: int, height: int, horizontal_fov_deg: float = 75.0) -> "CameraIntrinsics":
+        """Derive intrinsics from a horizontal field of view.
+
+        Kinect v2's depth camera has roughly a 70-75 degree horizontal FoV.
+        """
+        fx = (width / 2.0) / np.tan(np.deg2rad(horizontal_fov_deg) / 2.0)
+        # Square pixels: fy = fx.
+        return CameraIntrinsics(
+            width=width,
+            height=height,
+            fx=float(fx),
+            fy=float(fx),
+            cx=width / 2.0,
+            cy=height / 2.0,
+        )
+
+    @property
+    def aspect(self) -> float:
+        """Width/height aspect ratio."""
+        return self.width / self.height
+
+    def pixel_rays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-pixel ray direction factors ``(x/z, y/z)`` as (H, W) arrays.
+
+        Cached-free helper: for pixel (u, v) and depth z, the camera-local
+        point is ``(z * xf[v, u], z * yf[v, u], z)``.
+        """
+        u = np.arange(self.width, dtype=np.float64)
+        v = np.arange(self.height, dtype=np.float64)
+        uu, vv = np.meshgrid(u, v)
+        x_factor = (uu - self.cx) / self.fx
+        y_factor = (vv - self.cy) / self.fy
+        return x_factor, y_factor
+
+
+@dataclass(frozen=True)
+class CameraExtrinsics:
+    """Camera pose: a camera-to-world rigid transform."""
+
+    camera_to_world: np.ndarray
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.camera_to_world, dtype=np.float64)
+        if matrix.shape != (4, 4):
+            raise ValueError(f"camera_to_world must be 4x4, got {matrix.shape}")
+        object.__setattr__(self, "camera_to_world", matrix)
+
+    @property
+    def world_to_camera(self) -> np.ndarray:
+        """Inverse transform (world coordinates -> camera-local)."""
+        return invert_transform(self.camera_to_world)
+
+    @property
+    def position(self) -> np.ndarray:
+        """Camera center in world coordinates."""
+        return self.camera_to_world[:3, 3]
+
+
+class RGBDCamera:
+    """A calibrated RGB-D camera: intrinsics + extrinsics + depth range."""
+
+    def __init__(
+        self,
+        intrinsics: CameraIntrinsics,
+        extrinsics: CameraExtrinsics,
+        min_depth_m: float = DEFAULT_MIN_DEPTH_M,
+        max_depth_m: float = DEFAULT_MAX_DEPTH_M,
+        camera_id: int = 0,
+    ) -> None:
+        if not 0 < min_depth_m < max_depth_m:
+            raise ValueError("require 0 < min_depth_m < max_depth_m")
+        self.intrinsics = intrinsics
+        self.extrinsics = extrinsics
+        self.min_depth_m = float(min_depth_m)
+        self.max_depth_m = float(max_depth_m)
+        self.camera_id = int(camera_id)
+        self._x_factor, self._y_factor = intrinsics.pixel_rays()
+
+    @staticmethod
+    def looking_at(
+        eye: np.ndarray,
+        target: np.ndarray,
+        intrinsics: CameraIntrinsics,
+        camera_id: int = 0,
+        max_depth_m: float = DEFAULT_MAX_DEPTH_M,
+    ) -> "RGBDCamera":
+        """Convenience constructor: camera at ``eye`` aimed at ``target``."""
+        return RGBDCamera(
+            intrinsics,
+            CameraExtrinsics(look_at(eye, target)),
+            camera_id=camera_id,
+            max_depth_m=max_depth_m,
+        )
+
+    # ------------------------------------------------------------------
+    # Projection / unprojection
+    # ------------------------------------------------------------------
+
+    def unproject(
+        self,
+        depth_mm: np.ndarray,
+        color: np.ndarray | None = None,
+        to_world: bool = True,
+    ) -> PointCloud:
+        """Convert a depth image (uint16 millimeters) into a point cloud.
+
+        Zero-depth pixels (invalid / culled) are skipped, as in the Azure
+        Kinect SDK.  When ``color`` is given it must be an ``(H, W, 3)``
+        uint8 image pixel-aligned with the depth image.
+        """
+        depth_mm = np.asarray(depth_mm)
+        if depth_mm.shape != (self.intrinsics.height, self.intrinsics.width):
+            raise ValueError(
+                f"depth shape {depth_mm.shape} does not match intrinsics "
+                f"({self.intrinsics.height}, {self.intrinsics.width})"
+            )
+        valid = depth_mm > 0
+        z = depth_mm[valid].astype(np.float64) / 1000.0
+        x = self._x_factor[valid] * z
+        y = self._y_factor[valid] * z
+        local = np.stack([x, y, z], axis=1)
+        positions = (
+            transform_points(self.extrinsics.camera_to_world, local) if to_world else local
+        )
+        if color is not None:
+            colors = np.asarray(color)[valid]
+        else:
+            colors = np.zeros((len(positions), 3), dtype=np.uint8)
+        return PointCloud(positions, colors)
+
+    def local_points(self, depth_mm: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Camera-local 3D coordinates for *every* pixel of a depth image.
+
+        Returns ``(points, valid)`` where ``points`` is ``(H, W, 3)`` float64
+        and ``valid`` is the boolean mask of nonzero-depth pixels.  Used by
+        LiVo's RGB-D culling, which tests pixels against the frustum in
+        camera-local coordinates without building a point cloud
+        (paper section 3.4).
+        """
+        depth_mm = np.asarray(depth_mm)
+        z = depth_mm.astype(np.float64) / 1000.0
+        points = np.stack([self._x_factor * z, self._y_factor * z, z], axis=-1)
+        return points, depth_mm > 0
+
+    def project(self, world_points: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Project world points into the image.
+
+        Returns ``(u, v, z)`` arrays: integer pixel coordinates and
+        camera-local depth in meters.  Points behind the camera or outside
+        the image are *not* filtered here; callers apply their own masks.
+        """
+        local = transform_points(self.extrinsics.world_to_camera, world_points)
+        z = local[:, 2]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            u = np.where(z > 0, local[:, 0] / z * self.intrinsics.fx + self.intrinsics.cx, -1.0)
+            v = np.where(z > 0, local[:, 1] / z * self.intrinsics.fy + self.intrinsics.cy, -1.0)
+        return u, v, z
+
+    def in_image(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Mask of pixel coordinates that land inside the image."""
+        return (u >= 0) & (u < self.intrinsics.width) & (v >= 0) & (v < self.intrinsics.height)
+
+
+def ring_of_cameras(
+    num_cameras: int,
+    radius_m: float,
+    height_m: float,
+    intrinsics: CameraIntrinsics,
+    target: np.ndarray | None = None,
+    max_depth_m: float = DEFAULT_MAX_DEPTH_M,
+) -> list[RGBDCamera]:
+    """Place ``num_cameras`` in a circle aimed at a common target.
+
+    This is the paper's deployment model: "an array of off-the-shelf RGB-D
+    cameras encircling a scene" (section 3.1), e.g. the 10 Kinect v2
+    cameras of the Panoptic dataset.
+    """
+    if num_cameras <= 0:
+        raise ValueError("num_cameras must be positive")
+    if target is None:
+        target = np.array([0.0, 1.0, 0.0])
+    cameras = []
+    for index in range(num_cameras):
+        angle = 2.0 * np.pi * index / num_cameras
+        eye = np.array([radius_m * np.cos(angle), height_m, radius_m * np.sin(angle)])
+        cameras.append(
+            RGBDCamera.looking_at(
+                eye, target, intrinsics, camera_id=index, max_depth_m=max_depth_m
+            )
+        )
+    return cameras

@@ -1,0 +1,160 @@
+"""Viewing frustum: the receiver's 3D field of view.
+
+Paper section 3.4: "A frustum is a 3D truncated pyramid defined by six
+planes -- near, far, top, bottom, left, and right -- whose plane normals
+point inwards.  P is outside the frustum if distance of the point from
+either of the six planes is positive [with outward normals]."
+
+We store inward-pointing normals, so a point is inside when its signed
+distance to every plane is >= 0.  The frustum is built from a viewer pose
+(position + orientation) and the viewing-device parameters (vertical FoV,
+aspect ratio, near/far), exactly the values a headset reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Plane", "Frustum"]
+
+
+@dataclass(frozen=True)
+class Plane:
+    """Oriented plane ``normal . x + offset = 0`` with unit normal."""
+
+    normal: np.ndarray
+    offset: float
+
+    def __post_init__(self) -> None:
+        normal = np.asarray(self.normal, dtype=np.float64)
+        norm = np.linalg.norm(normal)
+        if norm < 1e-12:
+            raise ValueError("plane normal must be nonzero")
+        object.__setattr__(self, "normal", normal / norm)
+        object.__setattr__(self, "offset", float(self.offset) / norm)
+
+    def signed_distance(self, points: np.ndarray) -> np.ndarray:
+        """Signed distance of ``(N, 3)`` points; positive on the normal side."""
+        return np.asarray(points, dtype=np.float64) @ self.normal + self.offset
+
+    def translated(self, delta: float) -> "Plane":
+        """Plane moved ``delta`` meters along its (inward) normal.
+
+        Negative ``delta`` moves the plane outward, enlarging the frustum;
+        this implements LiVo's guard band (section 3.4).
+        """
+        return Plane(self.normal.copy(), self.offset - delta)
+
+    def transformed(self, transform: np.ndarray) -> "Plane":
+        """Plane mapped through a rigid 4x4 transform.
+
+        For a rigid transform T, the plane (n, d) maps to (R n, d - (R n).t).
+        """
+        rotation = transform[:3, :3]
+        translation = transform[:3, 3]
+        new_normal = rotation @ self.normal
+        new_offset = self.offset - float(new_normal @ translation)
+        return Plane(new_normal, new_offset)
+
+
+class Frustum:
+    """Six-plane truncated viewing pyramid with inward normals."""
+
+    PLANE_NAMES = ("near", "far", "left", "right", "top", "bottom")
+
+    def __init__(self, planes: list[Plane]) -> None:
+        if len(planes) != 6:
+            raise ValueError(f"a frustum has exactly 6 planes, got {len(planes)}")
+        self.planes = list(planes)
+
+    @staticmethod
+    def from_camera(
+        position: np.ndarray,
+        rotation: np.ndarray,
+        vertical_fov_deg: float = 60.0,
+        aspect: float = 16.0 / 9.0,
+        near_m: float = 0.1,
+        far_m: float = 10.0,
+    ) -> "Frustum":
+        """Build a frustum from a viewer pose and device parameters.
+
+        ``rotation`` maps viewer-local axes to world axes; viewer-local +Z
+        is the view direction, +X right, +Y down (computer-vision
+        convention, consistent with :mod:`repro.geometry.camera`).
+        """
+        if not 0 < vertical_fov_deg < 180:
+            raise ValueError("vertical_fov_deg must be in (0, 180)")
+        if not 0 < near_m < far_m:
+            raise ValueError("require 0 < near_m < far_m")
+        position = np.asarray(position, dtype=np.float64)
+        rotation = np.asarray(rotation, dtype=np.float64)
+        right = rotation[:, 0]
+        down = rotation[:, 1]
+        forward = rotation[:, 2]
+
+        half_v = np.deg2rad(vertical_fov_deg) / 2.0
+        tan_v = np.tan(half_v)
+        tan_h = tan_v * aspect
+
+        def plane_through_eye(normal: np.ndarray) -> Plane:
+            # Inward normal passing through the eye position.
+            return Plane(normal, -float(normal @ position))
+
+        near = Plane(forward, -float(forward @ (position + forward * near_m)))
+        far = Plane(-forward, float(forward @ (position + forward * far_m)))
+        # Side planes contain the eye; normals tilt inward by the half angle.
+        left = plane_through_eye(_normalize(forward * tan_h + right))
+        right_pl = plane_through_eye(_normalize(forward * tan_h - right))
+        top = plane_through_eye(_normalize(forward * tan_v + down))
+        bottom = plane_through_eye(_normalize(forward * tan_v - down))
+        return Frustum([near, far, left, right_pl, top, bottom])
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask: True for points inside or on the frustum.
+
+        Vectorized six-plane test -- the core of LiVo's culling.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise ValueError(f"expected (N, 3) points, got {points.shape}")
+        inside = np.ones(len(points), dtype=bool)
+        for plane in self.planes:
+            inside &= plane.signed_distance(points) >= 0.0
+            if not inside.any():
+                break
+        return inside
+
+    def contains_grid(self, points: np.ndarray) -> np.ndarray:
+        """Like :meth:`contains` but for an ``(H, W, 3)`` pixel-point grid.
+
+        Used by RGB-D view culling: points are camera-local pixel
+        back-projections and the frustum has been transformed into the
+        camera's local frame (section 3.4).
+        """
+        points = np.asarray(points, dtype=np.float64)
+        flat = points.reshape(-1, 3)
+        return self.contains(flat).reshape(points.shape[:2])
+
+    def expanded(self, guard_band_m: float) -> "Frustum":
+        """Frustum enlarged by moving every plane outward by ``guard_band_m``.
+
+        Implements the paper's guard band (default 20 cm) that absorbs
+        pose-prediction error (section 3.4, Fig. 15).
+        """
+        if guard_band_m < 0:
+            raise ValueError("guard_band_m must be non-negative")
+        return Frustum([plane.translated(-guard_band_m) for plane in self.planes])
+
+    def transformed(self, transform: np.ndarray) -> "Frustum":
+        """Frustum mapped through a rigid 4x4 transform.
+
+        LiVo transforms the (world-frame) frustum into each camera's
+        local coordinate system once per frame, then tests pixels locally.
+        """
+        return Frustum([plane.transformed(transform) for plane in self.planes])
+
+
+def _normalize(vector: np.ndarray) -> np.ndarray:
+    return vector / np.linalg.norm(vector)

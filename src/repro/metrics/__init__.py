@@ -1,0 +1,29 @@
+"""Quality metrics: image RMSE/PSNR, PointSSIM, MOS model, latency.
+
+- :mod:`repro.metrics.image` -- 2D pixel metrics; the RMSE here is what
+  LiVo's bandwidth splitter balances (section 3.3);
+- :mod:`repro.metrics.pointssim` -- the PointSSIM 3D quality metric
+  (Alexiou & Ebrahimi) the paper scores with: separate geometry and
+  color scores on a 0-100 scale;
+- :mod:`repro.metrics.mos` -- the user-study substitute: a QoE model
+  mapping objective measurements to Likert opinion scores;
+- :mod:`repro.metrics.latency` -- the per-component latency model
+  behind Table 6.
+"""
+
+from repro.metrics.image import psnr, rmse
+from repro.metrics.latency import LatencyBreakdown, latency_table
+from repro.metrics.mos import CommentModel, MOSModel, SessionQoE
+from repro.metrics.pointssim import PSSIMResult, pointssim
+
+__all__ = [
+    "psnr",
+    "rmse",
+    "LatencyBreakdown",
+    "latency_table",
+    "CommentModel",
+    "MOSModel",
+    "SessionQoE",
+    "PSSIMResult",
+    "pointssim",
+]

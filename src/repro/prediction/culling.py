@@ -1,0 +1,81 @@
+"""RGB-D view culling without point cloud reconstruction (section 3.4).
+
+"For each RGB-D camera, LiVo first transforms the frustum into the
+local coordinate system of the camera.  Then, for each pixel, it obtains
+that pixel's local coordinates and determines if it lies within the
+frustum."  Culled pixels are zeroed in both color and depth; zero
+regions cost the 2D codec almost nothing, which is where the bandwidth
+saving comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.capture.rgbd import MultiViewFrame
+from repro.geometry.camera import RGBDCamera
+from repro.geometry.frustum import Frustum
+
+__all__ = ["cull_views", "culling_accuracy"]
+
+
+def cull_views(
+    frame: MultiViewFrame,
+    cameras: list[RGBDCamera],
+    frustum: Frustum,
+) -> MultiViewFrame:
+    """Zero out pixels outside the (world-frame) frustum, per camera.
+
+    The frustum is transformed once into each camera's local frame; each
+    pixel is then back-projected to its camera-local 3D point and tested
+    against the six planes -- no point cloud is ever materialized.
+    """
+    if len(frame.views) != len(cameras):
+        raise ValueError(
+            f"frame has {len(frame.views)} views but {len(cameras)} cameras given"
+        )
+    culled_views = []
+    for view, camera in zip(frame.views, cameras):
+        local_frustum = frustum.transformed(camera.extrinsics.world_to_camera)
+        points, valid = camera.local_points(view.depth_mm)
+        keep = local_frustum.contains_grid(points) & valid
+        culled_views.append(view.culled(keep))
+    return MultiViewFrame(culled_views, sequence=frame.sequence, timestamp_s=frame.timestamp_s)
+
+
+def culling_accuracy(
+    frame: MultiViewFrame,
+    cameras: list[RGBDCamera],
+    predicted_frustum: Frustum,
+    actual_frustum: Frustum,
+) -> tuple[float, float]:
+    """Score a predicted cull against the receiver's actual frustum.
+
+    Returns ``(accuracy, kept_fraction)``, the two numbers Fig. 15
+    reports per (guard band, window) cell:
+
+    - ``accuracy``: of the pixels actually visible (inside the actual
+      frustum), the fraction the predicted cull kept -- prediction
+      recall; 100 percent means culling never removed visible content;
+    - ``kept_fraction``: fraction of all valid pixels the predicted
+      cull kept (the bracketed "fraction of points within frustum").
+    """
+    if len(frame.views) != len(cameras):
+        raise ValueError("views/cameras mismatch")
+    visible_and_kept = 0
+    visible_total = 0
+    kept_total = 0
+    valid_total = 0
+    for view, camera in zip(frame.views, cameras):
+        points, valid = camera.local_points(view.depth_mm)
+        predicted_local = predicted_frustum.transformed(camera.extrinsics.world_to_camera)
+        actual_local = actual_frustum.transformed(camera.extrinsics.world_to_camera)
+        kept = predicted_local.contains_grid(points) & valid
+        visible = actual_local.contains_grid(points) & valid
+        visible_and_kept += int(np.count_nonzero(kept & visible))
+        visible_total += int(np.count_nonzero(visible))
+        kept_total += int(np.count_nonzero(kept))
+        valid_total += int(np.count_nonzero(valid))
+    accuracy = 1.0 if visible_total == 0 else visible_and_kept / visible_total
+    kept_fraction = 0.0 if valid_total == 0 else kept_total / valid_total
+    return accuracy, kept_fraction

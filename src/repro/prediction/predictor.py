@@ -1,0 +1,80 @@
+"""Frustum prediction with guard-band expansion (section 3.4).
+
+The sender combines (a) the Kalman-predicted receiver pose at
+``t + delta_t`` (delta_t = half the smoothed RTT), (b) the viewing
+device's optics, and (c) a guard band that absorbs prediction error
+("an epsilon of 20 cm represents a sweet-spot", Fig. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.frustum import Frustum
+from repro.prediction.kalman import PoseKalmanPredictor
+from repro.prediction.pose import Pose
+
+__all__ = ["ViewingDevice", "FrustumPredictor", "DEFAULT_GUARD_BAND_M"]
+
+DEFAULT_GUARD_BAND_M = 0.20
+
+
+@dataclass(frozen=True)
+class ViewingDevice:
+    """Headset optics the receiver shares at connection setup."""
+
+    vertical_fov_deg: float = 60.0
+    aspect: float = 16.0 / 9.0
+    near_m: float = 0.1
+    far_m: float = 10.0
+
+    def frustum_for(self, pose: Pose) -> Frustum:
+        """Exact frustum for a pose on this device."""
+        return Frustum.from_camera(
+            pose.position,
+            pose.rotation_matrix(),
+            vertical_fov_deg=self.vertical_fov_deg,
+            aspect=self.aspect,
+            near_m=self.near_m,
+            far_m=self.far_m,
+        )
+
+
+class FrustumPredictor:
+    """Kalman pose prediction + device optics + guard band."""
+
+    def __init__(
+        self,
+        device: ViewingDevice | None = None,
+        guard_band_m: float = DEFAULT_GUARD_BAND_M,
+        process_noise: float = 1.0,
+        measurement_noise: float = 1e-4,
+    ) -> None:
+        if guard_band_m < 0:
+            raise ValueError("guard_band_m must be non-negative")
+        self.device = device or ViewingDevice()
+        self.guard_band_m = float(guard_band_m)
+        self._kalman = PoseKalmanPredictor(process_noise, measurement_noise)
+        self._last_pose: Pose | None = None
+
+    @property
+    def ready(self) -> bool:
+        """True once at least one pose report has arrived."""
+        return self._kalman.ready
+
+    def observe(self, pose: Pose, timestamp_s: float) -> None:
+        """Fold in a (delayed) pose report from the receiver."""
+        self._kalman.observe(pose, timestamp_s)
+        self._last_pose = pose
+
+    def predict_pose(self, horizon_s: float) -> Pose:
+        """Predicted receiver pose ``horizon_s`` past the last report."""
+        return self._kalman.predict(horizon_s)
+
+    def predict_frustum(self, horizon_s: float) -> Frustum:
+        """Guard-band-expanded frustum at the prediction horizon."""
+        pose = self.predict_pose(horizon_s)
+        frustum = self.device.frustum_for(pose)
+        if self.guard_band_m > 0:
+            frustum = frustum.expanded(self.guard_band_m)
+        return frustum

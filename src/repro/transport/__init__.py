@@ -1,0 +1,43 @@
+"""Transport substrate: WebRTC-like real-time transport over emulated links.
+
+The paper streams over WebRTC with Google Congestion Control and
+emulates bandwidth with Mahimahi.  This package provides the same
+machinery as a discrete-time simulation:
+
+- :mod:`repro.transport.traces` -- the two bandwidth traces (Table 4)
+  as stochastic generators matched to the paper's statistics;
+- :mod:`repro.transport.link` -- a trace-driven bottleneck link with a
+  drop-tail queue, propagation delay, and random loss (Mahimahi's role);
+- :mod:`repro.transport.gcc` -- a delay-gradient + loss congestion
+  controller in the structure of GCC;
+- :mod:`repro.transport.rtp` -- MTU packetization with loss detection;
+- :mod:`repro.transport.jitter` -- the receiver's jitter buffer
+  (100 ms target, appendix A.1);
+- :mod:`repro.transport.channel` -- the WebRTC-like channel tying those
+  together, with NACK/PLI-style recovery and an RTT estimator;
+- :mod:`repro.transport.tcp` -- a reliable in-order byte stream (fluid
+  model) used by the MeshReduce baseline.
+"""
+
+from repro.transport.channel import FrameDelivery, WebRTCChannel, WebRTCConfig
+from repro.transport.gcc import GoogleCongestionControl
+from repro.transport.jitter import JitterBuffer
+from repro.transport.link import EmulatedLink, LinkConfig
+from repro.transport.packet import Packet
+from repro.transport.tcp import ReliableByteStream
+from repro.transport.traces import BandwidthTrace, trace_1, trace_2
+
+__all__ = [
+    "FrameDelivery",
+    "WebRTCChannel",
+    "WebRTCConfig",
+    "GoogleCongestionControl",
+    "JitterBuffer",
+    "EmulatedLink",
+    "LinkConfig",
+    "Packet",
+    "ReliableByteStream",
+    "BandwidthTrace",
+    "trace_1",
+    "trace_2",
+]

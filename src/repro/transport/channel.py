@@ -1,0 +1,281 @@
+"""WebRTC-like media channel: packetization + congestion control + recovery.
+
+Ties the transport pieces together the way the paper's stack does
+(section 3.3 background, appendix A.1):
+
+- frames are fragmented into RTP-like packets and offered to the
+  emulated bottleneck link in send-time order;
+- per-packet timing feedback returns over the reverse path and drives
+  the GCC bandwidth estimate and a smoothed application-level RTT
+  (halved by LiVo to predict the one-way delay, section 3.4);
+- lost packets trigger NACK retransmissions; when retries are exhausted
+  the frame is abandoned and a PLI-style keyframe request is raised
+  ("we enable several WebRTC features, including negative
+  acknowledgments, Picture Loss Indication (PLI)...", appendix A.1).
+
+Everything is event-driven on simulated time: ``process_until(now)``
+advances the channel clock and makes completed frames visible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass
+
+from repro.transport.fec import FECGroupTracker, parity_packet_for
+from repro.transport.gcc import GCCConfig, GoogleCongestionControl
+from repro.transport.link import EmulatedLink
+from repro.transport.packet import DEFAULT_MTU, Packet
+from repro.transport.rtp import FrameAssembler, packetize
+
+__all__ = ["WebRTCConfig", "FrameDelivery", "WebRTCChannel"]
+
+
+@dataclass(frozen=True)
+class WebRTCConfig:
+    """Channel parameters.
+
+    ``fec_group_size`` enables XOR-parity forward error correction:
+    every group of that many media packets is followed by one parity
+    packet, and single losses per group are repaired locally instead of
+    waiting a NACK round trip (see :mod:`repro.transport.fec`).  None
+    disables FEC (the paper's configuration).
+    """
+
+    mtu: int = DEFAULT_MTU
+    reverse_delay_s: float = 0.02
+    nack_retries: int = 3
+    loss_detection_grace_s: float = 0.02
+    rtt_smoothing: float = 0.125  # classic SRTT EWMA gain
+    loss_window_s: float = 1.0
+    fec_group_size: int | None = None
+
+
+@dataclass(frozen=True)
+class FrameDelivery:
+    """A frame that fully arrived at the receiver."""
+
+    stream_id: int
+    frame_sequence: int
+    send_time_s: float
+    completion_time_s: float
+
+
+class WebRTCChannel:
+    """One-direction media channel over an emulated link."""
+
+    def __init__(
+        self,
+        link: EmulatedLink,
+        config: WebRTCConfig | None = None,
+        gcc_config: GCCConfig | None = None,
+        num_streams: int = 2,
+    ) -> None:
+        self.link = link
+        self.config = config or WebRTCConfig()
+        self.gcc = GoogleCongestionControl(gcc_config)
+        self._assemblers = [FrameAssembler() for _ in range(num_streams)]
+        self._events: list[tuple[float, int, str, object]] = []
+        self._tiebreak = itertools.count()
+        self._packet_sequence = 0
+        self._frame_send_times: dict[tuple[int, int], float] = {}
+        self._deliveries: list[FrameDelivery] = []
+        self._needs_keyframe = [False] * num_streams
+        self._srtt: float | None = None
+        self._loss_events: deque[tuple[float, bool]] = deque()
+        self.frames_lost: list[tuple[int, int]] = []
+        self.bytes_sent_per_stream = [0] * num_streams
+        self._clock = 0.0
+        # FEC state (only touched when fec_group_size is set).
+        self._fec_tracker = FECGroupTracker()
+        self._fec_group_counter = 0
+        self._packet_fec_group: dict[int, tuple[int, int]] = {}
+        self._fec_repaired: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Sender API
+    # ------------------------------------------------------------------
+
+    def send_frame(self, stream_id: int, frame_sequence: int, size_bytes: int, now: float) -> None:
+        """Offer one encoded frame for transmission at time ``now``."""
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        packets = packetize(
+            stream_id,
+            frame_sequence,
+            size_bytes,
+            now,
+            self._packet_sequence,
+            mtu=self.config.mtu,
+        )
+        self._packet_sequence += len(packets)
+        self._frame_send_times[(stream_id, frame_sequence)] = now
+        self.bytes_sent_per_stream[stream_id] += sum(p.size_bytes for p in packets)
+        for packet in packets:
+            self._schedule(now, "offer", (packet, self.config.nack_retries))
+        if self.config.fec_group_size:
+            self._send_fec_parity(stream_id, packets, now)
+
+    def _send_fec_parity(self, stream_id: int, packets: list[Packet], now: float) -> None:
+        """Group a frame's packets and append XOR parity packets."""
+        group_size = self.config.fec_group_size
+        assert group_size is not None
+        for start in range(0, len(packets), group_size):
+            group = packets[start : start + group_size]
+            group_id = self._fec_group_counter
+            self._fec_group_counter += 1
+            for packet in group:
+                self._packet_fec_group[packet.sequence] = (group_id, len(group))
+            parity = parity_packet_for(group, self._packet_sequence)
+            self._packet_sequence += 1
+            self._packet_fec_group[parity.sequence] = (group_id, len(group))
+            self.bytes_sent_per_stream[stream_id] += parity.size_bytes
+            # Parity is best-effort: no NACK retries for it.
+            self._schedule(now, "offer", (parity, 0))
+
+    def target_rate_bps(self) -> float:
+        """Current GCC bandwidth estimate (the encoder's rate input)."""
+        return self.gcc.target_rate_bps()
+
+    @property
+    def rtt_s(self) -> float:
+        """Smoothed application-level RTT estimate."""
+        if self._srtt is None:
+            return 2.0 * (self.link.config.propagation_delay_s + self.config.reverse_delay_s)
+        return self._srtt
+
+    @property
+    def one_way_delay_estimate_s(self) -> float:
+        """LiVo's Delta-t: half the smoothed RTT (section 3.4)."""
+        return self.rtt_s / 2.0
+
+    def needs_keyframe(self, stream_id: int) -> bool:
+        """True when a PLI is pending for this stream (consumed on read)."""
+        pending = self._needs_keyframe[stream_id]
+        self._needs_keyframe[stream_id] = False
+        return pending
+
+    # ------------------------------------------------------------------
+    # Receiver API
+    # ------------------------------------------------------------------
+
+    def poll_deliveries(self, now: float) -> list[FrameDelivery]:
+        """Advance the clock and return frames completed by ``now``."""
+        self.process_until(now)
+        ready = [d for d in self._deliveries if d.completion_time_s <= now]
+        self._deliveries = [d for d in self._deliveries if d.completion_time_s > now]
+        return ready
+
+    # ------------------------------------------------------------------
+    # Event machinery
+    # ------------------------------------------------------------------
+
+    def _schedule(self, time_s: float, kind: str, payload: object) -> None:
+        heapq.heappush(self._events, (time_s, next(self._tiebreak), kind, payload))
+
+    def process_until(self, now: float) -> None:
+        """Run all channel events with timestamps up to ``now``."""
+        self._clock = max(self._clock, now)
+        while self._events and self._events[0][0] <= now:
+            time_s, _, kind, payload = heapq.heappop(self._events)
+            if kind == "offer":
+                self._handle_offer(time_s, *payload)  # type: ignore[misc]
+            elif kind == "feedback":
+                self._handle_feedback(time_s, payload)  # type: ignore[arg-type]
+            elif kind == "nack":
+                self._handle_nack(time_s, *payload)  # type: ignore[misc]
+
+    def _handle_offer(self, time_s: float, packet: Packet, retries_left: int) -> None:
+        packet.send_time_s = time_s
+        is_parity = packet.fragment < 0
+        arrival = self.link.send(packet)
+        if arrival is None:
+            self._record_loss_event(time_s, delivered=False)
+            if is_parity:
+                self._fec_account(packet, delivered=False, event_time=time_s)
+                return  # parity is best-effort; never NACKed
+            self._fec_account(packet, delivered=False, event_time=time_s)
+            detection = time_s + self.link.config.propagation_delay_s + self.config.loss_detection_grace_s
+            nack_arrival = detection + self.config.reverse_delay_s
+            self._schedule(nack_arrival, "nack", (packet, retries_left))
+            return
+        if is_parity:
+            self._fec_account(packet, delivered=True, event_time=arrival)
+        else:
+            self._fec_account(packet, delivered=True, event_time=arrival)
+            self._deliver_media(packet, arrival)
+        self._schedule(arrival + self.config.reverse_delay_s, "feedback", packet)
+
+    def _deliver_media(self, packet: Packet, arrival: float) -> None:
+        completed = self._assemblers[packet.stream_id].on_packet(packet, arrival)
+        if completed is not None:
+            key = (packet.stream_id, completed)
+            self._deliveries.append(
+                FrameDelivery(
+                    stream_id=packet.stream_id,
+                    frame_sequence=completed,
+                    send_time_s=self._frame_send_times.get(key, packet.send_time_s),
+                    completion_time_s=arrival,
+                )
+            )
+
+    def _fec_account(self, packet: Packet, delivered: bool, event_time: float) -> None:
+        """Feed FEC bookkeeping; deliver any packet a parity repairs."""
+        group = self._packet_fec_group.get(packet.sequence)
+        if group is None:
+            return
+        group_id, media_total = group
+        if packet.fragment < 0:
+            recovered = self._fec_tracker.on_parity(group_id, media_total, delivered)
+        else:
+            recovered = self._fec_tracker.on_media(group_id, media_total, delivered, packet)
+        if recovered is not None:
+            self._fec_repaired.add(recovered.sequence)
+            self._deliver_media(recovered, event_time)
+
+    def _handle_feedback(self, time_s: float, packet: Packet) -> None:
+        assert packet.arrival_time_s is not None
+        self.gcc.on_packet_feedback(packet.send_time_s, packet.arrival_time_s, packet.size_bytes)
+        self._record_loss_event(time_s, delivered=True)
+        self.gcc.on_loss_report(self._loss_fraction(time_s))
+        sample = time_s - packet.send_time_s
+        if self._srtt is None:
+            self._srtt = sample
+        else:
+            self._srtt += self.config.rtt_smoothing * (sample - self._srtt)
+
+    def _handle_nack(self, time_s: float, packet: Packet, retries_left: int) -> None:
+        if packet.sequence in self._fec_repaired:
+            return  # FEC already repaired this loss; no retransmission
+        self.gcc.on_loss_report(self._loss_fraction(time_s))
+        if retries_left <= 0:
+            self.frames_lost.append((packet.stream_id, packet.frame_sequence))
+            self._assemblers[packet.stream_id].drop_frame(packet.frame_sequence)
+            self._needs_keyframe[packet.stream_id] = True
+            return
+        retransmit = Packet(
+            sequence=self._packet_sequence,
+            stream_id=packet.stream_id,
+            frame_sequence=packet.frame_sequence,
+            fragment=packet.fragment,
+            num_fragments=packet.num_fragments,
+            size_bytes=packet.size_bytes,
+            send_time_s=time_s,
+            is_retransmit=True,
+        )
+        self._packet_sequence += 1
+        self._schedule(time_s, "offer", (retransmit, retries_left - 1))
+
+    def _record_loss_event(self, time_s: float, delivered: bool) -> None:
+        self._loss_events.append((time_s, delivered))
+        cutoff = time_s - self.config.loss_window_s
+        while self._loss_events and self._loss_events[0][0] < cutoff:
+            self._loss_events.popleft()
+
+    def _loss_fraction(self, now: float) -> float:
+        if not self._loss_events:
+            return 0.0
+        lost = sum(1 for _, delivered in self._loss_events if not delivered)
+        return lost / len(self._loss_events)

@@ -1,0 +1,147 @@
+"""Google Congestion Control (GCC), simplified to its published structure.
+
+Carlucci et al. (MMSys'16) describe GCC as two coupled controllers:
+
+- a **delay-based** controller estimating the one-way delay *gradient*
+  between consecutive *packet groups* (frames / send bursts).  Measuring
+  between groups rather than packets filters out the self-inflicted
+  intra-burst queueing of a frame's own packets.  A threshold on the
+  smoothed gradient classifies the network as underused / normal /
+  overused, driving an Increase / Hold / Decrease state machine whose
+  decrease target is a fraction of the measured receive rate;
+- a **loss-based** controller: cut on >10 percent loss, grow on
+  <2 percent.  It acts as a cap; with no loss it stays out of the way.
+
+The sender's target rate is the minimum of the two.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["GoogleCongestionControl", "GCCConfig"]
+
+
+@dataclass(frozen=True)
+class GCCConfig:
+    """GCC tuning constants (values follow the published defaults)."""
+
+    initial_rate_bps: float = 10e6
+    min_rate_bps: float = 1e6
+    max_rate_bps: float = 500e6
+    increase_factor: float = 1.05      # multiplicative increase per group
+    decrease_factor: float = 0.85      # beta in the paper
+    gradient_threshold_s: float = 0.002  # overuse threshold on group delay gradient
+    gradient_smoothing: float = 0.5    # EMA on the raw gradient
+    loss_decrease_threshold: float = 0.10
+    loss_increase_threshold: float = 0.02
+    receive_window_s: float = 1.0
+
+
+@dataclass
+class _Group:
+    send_time_s: float
+    last_arrival_s: float
+
+
+class GoogleCongestionControl:
+    """Delay-gradient + loss congestion controller."""
+
+    def __init__(self, config: GCCConfig | None = None) -> None:
+        self.config = config or GCCConfig()
+        self._delay_rate = self.config.initial_rate_bps
+        # The loss controller is a cap: it starts wide open and only
+        # clamps down when losses are reported.
+        self._loss_rate_bps = self.config.max_rate_bps
+        self._smoothed_gradient = 0.0
+        self._state = "increase"
+        self._previous_group: _Group | None = None
+        self._current_group: _Group | None = None
+        self._recent_arrivals: deque[tuple[float, int]] = deque()
+
+    @property
+    def state(self) -> str:
+        """Current delay-controller state: increase / hold / decrease."""
+        return self._state
+
+    def on_packet_feedback(self, send_time_s: float, arrival_time_s: float, size_bytes: int) -> None:
+        """Fold one delivered packet's timing into the delay controller.
+
+        Packets sharing a send time form one group (a frame's burst).
+        """
+        self._recent_arrivals.append((arrival_time_s, size_bytes))
+        cutoff = arrival_time_s - self.config.receive_window_s
+        while self._recent_arrivals and self._recent_arrivals[0][0] < cutoff:
+            self._recent_arrivals.popleft()
+
+        if self._current_group is None:
+            self._current_group = _Group(send_time_s, arrival_time_s)
+            return
+        if send_time_s <= self._current_group.send_time_s + 1e-9:
+            # Same burst: extend its last-arrival time.
+            self._current_group.last_arrival_s = max(
+                self._current_group.last_arrival_s, arrival_time_s
+            )
+            return
+
+        # New group begins: the previous group is now complete.
+        if self._previous_group is not None:
+            completed = self._current_group
+            inter_departure = completed.send_time_s - self._previous_group.send_time_s
+            inter_arrival = completed.last_arrival_s - self._previous_group.last_arrival_s
+            self._update_gradient(inter_arrival - inter_departure, completed.last_arrival_s)
+        self._previous_group = self._current_group
+        self._current_group = _Group(send_time_s, arrival_time_s)
+
+    def _update_gradient(self, gradient_sample: float, now: float) -> None:
+        self._smoothed_gradient += self.config.gradient_smoothing * (
+            gradient_sample - self._smoothed_gradient
+        )
+        threshold = self.config.gradient_threshold_s
+        if self._smoothed_gradient > threshold:
+            self._state = "decrease"
+            receive_rate = self._receive_rate_bps(now)
+            if receive_rate > 0:
+                self._delay_rate = max(
+                    self.config.min_rate_bps,
+                    self.config.decrease_factor * receive_rate,
+                )
+        elif self._smoothed_gradient < -threshold:
+            self._state = "hold"
+        else:
+            self._state = "increase"
+            self._delay_rate = min(
+                self.config.max_rate_bps,
+                self._delay_rate * self.config.increase_factor,
+            )
+
+    def _receive_rate_bps(self, now: float) -> float:
+        if not self._recent_arrivals:
+            return 0.0
+        window_start = self._recent_arrivals[0][0]
+        window = max(now - window_start, 0.05)
+        total_bytes = sum(size for _, size in self._recent_arrivals)
+        return total_bytes * 8.0 / window
+
+    def on_loss_report(self, loss_fraction: float) -> None:
+        """Fold a periodic loss report into the loss-based controller."""
+        if not 0.0 <= loss_fraction <= 1.0:
+            raise ValueError("loss_fraction must be in [0, 1]")
+        if loss_fraction > self.config.loss_decrease_threshold:
+            # Cut from the current effective target, not from the cap's
+            # idle value, so heavy loss bites immediately.
+            base = min(self._loss_rate_bps, self._delay_rate)
+            self._loss_rate_bps = max(
+                base * (1.0 - 0.5 * loss_fraction),
+                self.config.min_rate_bps,
+            )
+        elif loss_fraction < self.config.loss_increase_threshold:
+            self._loss_rate_bps = min(
+                self._loss_rate_bps * self.config.increase_factor,
+                self.config.max_rate_bps,
+            )
+
+    def target_rate_bps(self) -> float:
+        """The sender's pacing/encoding target: min of the two controllers."""
+        return max(self.config.min_rate_bps, min(self._delay_rate, self._loss_rate_bps))

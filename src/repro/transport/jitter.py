@@ -1,0 +1,58 @@
+"""Receiver jitter buffer.
+
+WebRTC smooths network jitter by delaying playout behind arrival; the
+paper uses a 100 ms jitter buffer ("much of [the latency] is
+attributable to the jitter buffer in WebRTC: we use 100 ms", Table 6
+discussion).  Frames become *ready* at ``arrival + target_delay`` and
+are released strictly in sequence order.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+__all__ = ["JitterBuffer", "DEFAULT_JITTER_TARGET_S"]
+
+DEFAULT_JITTER_TARGET_S = 0.1
+
+
+class JitterBuffer:
+    """In-order frame release with a fixed playout delay."""
+
+    def __init__(self, target_delay_s: float = DEFAULT_JITTER_TARGET_S) -> None:
+        if target_delay_s < 0:
+            raise ValueError("target_delay_s must be non-negative")
+        self.target_delay_s = float(target_delay_s)
+        self._heap: list[tuple[int, float]] = []
+        self._released: int = -1
+
+    def insert(self, frame_sequence: int, arrival_time_s: float) -> None:
+        """Add a completed frame; late duplicates and stale frames are dropped."""
+        if frame_sequence <= self._released:
+            return
+        heapq.heappush(self._heap, (frame_sequence, arrival_time_s + self.target_delay_s))
+
+    def pop_ready(self, now: float) -> int | None:
+        """Release the next in-order frame whose playout time has passed.
+
+        Frames older than the head (skipped sequences) are released in
+        order; the caller decides whether a gap means a stall or a skip.
+        """
+        while self._heap:
+            frame_sequence, ready_at = self._heap[0]
+            if frame_sequence <= self._released:
+                heapq.heappop(self._heap)
+                continue
+            if ready_at > now:
+                return None
+            heapq.heappop(self._heap)
+            self._released = frame_sequence
+            return frame_sequence
+        return None
+
+    def skip_to(self, frame_sequence: int) -> None:
+        """Advance the release cursor (e.g. after a PLI resync)."""
+        self._released = max(self._released, frame_sequence)
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,158 @@
+"""Trace-driven bottleneck link (Mahimahi's role in the paper's testbed).
+
+A single bottleneck with:
+
+- time-varying service rate from a :class:`BandwidthTrace`;
+- a FIFO queue bounded by maximum queueing delay (drop-tail);
+- fixed one-way propagation delay;
+- optional random packet loss.
+
+The model is a fluid-service queue evaluated per packet: each enqueue
+computes when the bottleneck finishes serving the packet given the
+capacity trace and the queue backlog, which is exact for FIFO service
+and piecewise-constant capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.transport.packet import Packet
+from repro.transport.traces import BandwidthTrace
+
+__all__ = ["LinkConfig", "EmulatedLink"]
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Link parameters.
+
+    Attributes:
+        propagation_delay_s: one-way propagation delay.
+        max_queue_delay_s: drop-tail bound expressed as queueing delay
+            (Mahimahi-style bounded buffer).
+        loss_rate: i.i.d. random loss probability.
+        seed: RNG seed for loss draws.
+        receive_buffer_bytes: receiver UDP socket buffer.  Packets that
+            arrive while the application hasn't drained the buffer are
+            dropped when it overflows -- appendix A.1: "Because 4K
+            videos are large, the default Linux UDP socket buffer
+            (213 KB) proved insufficient, so we increased it."  None
+            disables the model (an amply sized buffer).
+        receive_drain_rate_bps: how fast the receiving application
+            drains the socket buffer (decode ingest rate).
+    """
+
+    propagation_delay_s: float = 0.02
+    max_queue_delay_s: float = 0.3
+    loss_rate: float = 0.0
+    seed: int = 0
+    receive_buffer_bytes: int | None = None
+    receive_drain_rate_bps: float = 400e6
+
+    def __post_init__(self) -> None:
+        if self.propagation_delay_s < 0:
+            raise ValueError("propagation_delay_s must be non-negative")
+        if self.max_queue_delay_s <= 0:
+            raise ValueError("max_queue_delay_s must be positive")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if self.receive_buffer_bytes is not None and self.receive_buffer_bytes <= 0:
+            raise ValueError("receive_buffer_bytes must be positive")
+        if self.receive_drain_rate_bps <= 0:
+            raise ValueError("receive_drain_rate_bps must be positive")
+
+
+class EmulatedLink:
+    """One-direction bottleneck link driven by a bandwidth trace."""
+
+    def __init__(self, trace: BandwidthTrace, config: LinkConfig | None = None) -> None:
+        self.trace = trace
+        self.config = config or LinkConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._queue_free_at = 0.0  # when the bottleneck finishes its backlog
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.bytes_delivered = 0
+        # Receive-socket-buffer model (appendix A.1).
+        self._socket_fill_bytes = 0.0
+        self._socket_last_arrival = 0.0
+        self.socket_drops = 0
+
+    def _service_finish_time(self, start: float, size_bytes: int) -> float:
+        """Finish time for serving ``size_bytes`` starting at ``start``.
+
+        Integrates the piecewise-constant capacity trace.
+        """
+        remaining_bits = size_bytes * 8.0
+        t = start
+        interval = self.trace.interval_s
+        # Walk capacity intervals until the packet is fully served.
+        for _ in range(10_000_000):
+            rate_bps = self.trace.capacity_bps_at(t)
+            boundary = (int(t / interval) + 1) * interval
+            window = boundary - t
+            can_send = rate_bps * window
+            if can_send >= remaining_bits:
+                return t + remaining_bits / rate_bps
+            remaining_bits -= can_send
+            t = boundary
+        raise RuntimeError("link service did not converge")
+
+    def send(self, packet: Packet) -> float | None:
+        """Offer a packet to the link at ``packet.send_time_s``.
+
+        Returns the arrival time at the far end, or None if the packet
+        was dropped (queue overflow or random loss).  Packets must be
+        offered in nondecreasing send-time order (FIFO link).
+        """
+        self.packets_sent += 1
+        now = packet.send_time_s
+        start = max(now, self._queue_free_at)
+        queue_delay = start - now
+        if queue_delay > self.config.max_queue_delay_s:
+            self.packets_dropped += 1
+            return None
+        if self.config.loss_rate > 0 and self._rng.random() < self.config.loss_rate:
+            # Random loss still occupies the bottleneck (the packet is
+            # transmitted, then lost downstream).
+            self._queue_free_at = self._service_finish_time(start, packet.size_bytes)
+            self.packets_dropped += 1
+            return None
+        finish = self._service_finish_time(start, packet.size_bytes)
+        self._queue_free_at = finish
+        arrival = finish + self.config.propagation_delay_s
+        if not self._socket_accepts(packet, arrival):
+            self.packets_dropped += 1
+            self.socket_drops += 1
+            return None
+        self.bytes_delivered += packet.size_bytes
+        packet.arrival_time_s = arrival
+        return arrival
+
+    def _socket_accepts(self, packet: Packet, arrival: float) -> bool:
+        """Receive-socket buffer: drain since the last arrival, then
+        accept iff the packet fits (appendix A.1's overflow effect)."""
+        if self.config.receive_buffer_bytes is None:
+            return True
+        elapsed = max(arrival - self._socket_last_arrival, 0.0)
+        drained = elapsed * self.config.receive_drain_rate_bps / 8.0
+        self._socket_fill_bytes = max(self._socket_fill_bytes - drained, 0.0)
+        self._socket_last_arrival = arrival
+        if self._socket_fill_bytes + packet.size_bytes > self.config.receive_buffer_bytes:
+            return False
+        self._socket_fill_bytes += packet.size_bytes
+        return True
+
+    def queue_delay_at(self, t: float) -> float:
+        """Current queueing delay a new packet would see at time ``t``."""
+        return max(0.0, self._queue_free_at - t)
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of offered packets dropped so far."""
+        if self.packets_sent == 0:
+            return 0.0
+        return self.packets_dropped / self.packets_sent

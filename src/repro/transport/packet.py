@@ -1,0 +1,37 @@
+"""Packet types shared across the transport simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Packet", "DEFAULT_MTU"]
+
+# Typical Ethernet payload budget after IP/UDP/RTP headers.
+DEFAULT_MTU = 1200
+
+
+@dataclass
+class Packet:
+    """One RTP-like packet in flight.
+
+    Attributes:
+        sequence: transport-level sequence number (per channel).
+        stream_id: which media stream this packet belongs to
+            (LiVo runs two: color and depth).
+        frame_sequence: the video frame this packet carries a piece of.
+        fragment: fragment index within the frame.
+        num_fragments: total fragments of the frame.
+        size_bytes: payload + header size.
+        send_time_s: when the sender handed it to the link.
+        is_retransmit: True for NACK-triggered retransmissions.
+    """
+
+    sequence: int
+    stream_id: int
+    frame_sequence: int
+    fragment: int
+    num_fragments: int
+    size_bytes: int
+    send_time_s: float
+    is_retransmit: bool = False
+    arrival_time_s: float | None = field(default=None, compare=False)

@@ -1,0 +1,84 @@
+"""Reliable in-order byte stream (the MeshReduce baseline's transport).
+
+MeshReduce "transmits over 2 TCP socket connections" (paper section
+4.1).  For the metrics the evaluation needs -- when does each frame's
+last byte arrive, and what throughput was achieved -- a fluid model of a
+saturating reliable stream is sufficient: the bottleneck serves the
+backlog at the trace capacity, losses surface as extra serving time
+rather than drops, and frames are delivered strictly in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.transport.traces import BandwidthTrace
+
+__all__ = ["ReliableByteStream", "StreamDelivery"]
+
+
+@dataclass(frozen=True)
+class StreamDelivery:
+    """Delivery record for one application message (frame)."""
+
+    message_id: int
+    size_bytes: int
+    send_time_s: float
+    delivery_time_s: float
+
+
+class ReliableByteStream:
+    """Fluid TCP-like stream over a trace-driven bottleneck."""
+
+    def __init__(
+        self,
+        trace: BandwidthTrace,
+        propagation_delay_s: float = 0.02,
+        efficiency: float = 0.9,
+    ) -> None:
+        """``efficiency`` discounts capacity for TCP dynamics (slow start,
+        loss recovery, header overhead)."""
+        if not 0 < efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+        self.trace = trace
+        self.propagation_delay_s = float(propagation_delay_s)
+        self.efficiency = float(efficiency)
+        self._backlog_clear_at = 0.0
+        self.bytes_sent = 0
+        self.deliveries: list[StreamDelivery] = []
+
+    def _service_finish_time(self, start: float, size_bytes: int) -> float:
+        remaining_bits = size_bytes * 8.0
+        t = start
+        interval = self.trace.interval_s
+        for _ in range(10_000_000):
+            rate_bps = self.trace.capacity_bps_at(t) * self.efficiency
+            boundary = (int(t / interval) + 1) * interval
+            window = boundary - t
+            can_send = rate_bps * window
+            if can_send >= remaining_bits:
+                return t + remaining_bits / rate_bps
+            remaining_bits -= can_send
+            t = boundary
+        raise RuntimeError("stream service did not converge")
+
+    def send(self, message_id: int, size_bytes: int, now: float) -> StreamDelivery:
+        """Append a message at time ``now``; returns its delivery record."""
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        start = max(now, self._backlog_clear_at)
+        finish = self._service_finish_time(start, size_bytes)
+        self._backlog_clear_at = finish
+        self.bytes_sent += size_bytes
+        delivery = StreamDelivery(
+            message_id=message_id,
+            size_bytes=size_bytes,
+            send_time_s=now,
+            delivery_time_s=finish + self.propagation_delay_s,
+        )
+        self.deliveries.append(delivery)
+        return delivery
+
+    def backlog_delay_at(self, now: float) -> float:
+        """How far behind real time the stream currently is."""
+        return max(0.0, self._backlog_clear_at - now)

@@ -1,0 +1,93 @@
+"""Artifact export: images and point clouds, dependency-free.
+
+The paper's receiver renders with Open3D/Unity; this module provides
+the inspection equivalents that work anywhere: NetPBM image writers
+(PPM for color, PGM via a turbo-like colormap for depth) and an ASCII
+PLY writer for point clouds, so every stage of the pipeline can be
+dumped to files and eyeballed in any viewer.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.geometry.pointcloud import PointCloud
+
+__all__ = ["write_ppm", "write_pgm", "depth_to_color", "write_ply"]
+
+
+def write_ppm(path: str | Path, image: np.ndarray) -> Path:
+    """Write an ``(H, W, 3)`` uint8 image as binary PPM (P6)."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3 or image.dtype != np.uint8:
+        raise ValueError("write_ppm expects an (H, W, 3) uint8 image")
+    path = Path(path)
+    height, width = image.shape[:2]
+    with path.open("wb") as handle:
+        handle.write(f"P6\n{width} {height}\n255\n".encode())
+        handle.write(image.tobytes())
+    return path
+
+
+def write_pgm(path: str | Path, image: np.ndarray, max_value: int | None = None) -> Path:
+    """Write an ``(H, W)`` uint8/uint16 image as binary PGM (P5)."""
+    image = np.asarray(image)
+    if image.ndim != 2 or image.dtype not in (np.uint8, np.uint16):
+        raise ValueError("write_pgm expects an (H, W) uint8/uint16 image")
+    if max_value is None:
+        max_value = 255 if image.dtype == np.uint8 else 65535
+    if not 0 < max_value < 65536:
+        raise ValueError("max_value must be in (0, 65536)")
+    path = Path(path)
+    height, width = image.shape
+    payload = image.astype(">u2").tobytes() if max_value > 255 else image.astype(np.uint8).tobytes()
+    with path.open("wb") as handle:
+        handle.write(f"P5\n{width} {height}\n{max_value}\n".encode())
+        handle.write(payload)
+    return path
+
+
+def depth_to_color(depth_mm: np.ndarray, max_depth_mm: int = 6000) -> np.ndarray:
+    """Map a depth image to an RGB visualization.
+
+    Near is warm, far is cool, invalid (zero) is black -- the standard
+    presentation of Kinect depth maps.
+    """
+    depth_mm = np.asarray(depth_mm, dtype=np.float64)
+    if max_depth_mm <= 0:
+        raise ValueError("max_depth_mm must be positive")
+    normalized = np.clip(depth_mm / max_depth_mm, 0.0, 1.0)
+    # Simple three-anchor gradient: red -> green -> blue.
+    r = np.clip(1.5 - 3.0 * normalized, 0.0, 1.0)
+    g = np.clip(1.5 - 3.0 * np.abs(normalized - 0.5), 0.0, 1.0)
+    b = np.clip(3.0 * normalized - 1.5, 0.0, 1.0)
+    image = np.stack([r, g, b], axis=-1)
+    image[depth_mm <= 0] = 0.0
+    return np.clip(np.rint(image * 255.0), 0, 255).astype(np.uint8)
+
+
+def write_ply(path: str | Path, cloud: PointCloud) -> Path:
+    """Write a point cloud as ASCII PLY (positions + RGB)."""
+    path = Path(path)
+    header = (
+        "ply\n"
+        "format ascii 1.0\n"
+        f"element vertex {cloud.num_points}\n"
+        "property float x\n"
+        "property float y\n"
+        "property float z\n"
+        "property uchar red\n"
+        "property uchar green\n"
+        "property uchar blue\n"
+        "end_header\n"
+    )
+    rows = np.concatenate(
+        [cloud.positions.astype(np.float32), cloud.colors.astype(np.float32)], axis=1
+    )
+    with path.open("w") as handle:
+        handle.write(header)
+        for x, y, z, r, g, b in rows:
+            handle.write(f"{x:.5f} {y:.5f} {z:.5f} {int(r)} {int(g)} {int(b)}\n")
+    return path

@@ -1,0 +1,139 @@
+"""Tests for the pinhole RGB-D camera model."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.camera import (
+    CameraExtrinsics,
+    CameraIntrinsics,
+    RGBDCamera,
+    ring_of_cameras,
+)
+
+
+@pytest.fixture
+def intrinsics():
+    return CameraIntrinsics.from_fov(80, 60, horizontal_fov_deg=75.0)
+
+
+@pytest.fixture
+def camera(intrinsics):
+    return RGBDCamera(intrinsics, CameraExtrinsics(np.eye(4)))
+
+
+class TestIntrinsics:
+    def test_from_fov_focal_length(self):
+        intr = CameraIntrinsics.from_fov(100, 80, horizontal_fov_deg=90.0)
+        assert intr.fx == pytest.approx(50.0)
+        assert intr.fy == pytest.approx(50.0)
+        assert intr.cx == 50.0 and intr.cy == 40.0
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            CameraIntrinsics(0, 10, 1.0, 1.0, 0.0, 0.0)
+
+    def test_invalid_focal(self):
+        with pytest.raises(ValueError):
+            CameraIntrinsics(10, 10, -1.0, 1.0, 0.0, 0.0)
+
+    def test_pixel_rays_center(self, intrinsics):
+        xf, yf = intrinsics.pixel_rays()
+        cy, cx = int(intrinsics.cy), int(intrinsics.cx)
+        # Principal-point pixel should map almost straight ahead.
+        assert abs(xf[cy, cx]) < 0.02
+        assert abs(yf[cy, cx]) < 0.02
+
+
+class TestProjectionRoundtrip:
+    def test_unproject_then_project(self, camera):
+        depth = np.zeros((60, 80), dtype=np.uint16)
+        depth[20:40, 30:50] = 2000  # 2 meters
+        cloud = camera.unproject(depth)
+        assert len(cloud) == 20 * 20
+        u, v, z = camera.project(cloud.positions)
+        assert np.all(camera.in_image(u, v))
+        np.testing.assert_allclose(z, 2.0, atol=1e-9)
+
+    def test_zero_depth_is_invalid(self, camera):
+        depth = np.zeros((60, 80), dtype=np.uint16)
+        assert camera.unproject(depth).is_empty
+
+    def test_unproject_carries_colors(self, camera):
+        depth = np.zeros((60, 80), dtype=np.uint16)
+        depth[10, 10] = 1500
+        color = np.zeros((60, 80, 3), dtype=np.uint8)
+        color[10, 10] = [200, 100, 50]
+        cloud = camera.unproject(depth, color)
+        np.testing.assert_array_equal(cloud.colors[0], [200, 100, 50])
+
+    def test_unproject_shape_mismatch(self, camera):
+        with pytest.raises(ValueError):
+            camera.unproject(np.zeros((10, 10), dtype=np.uint16))
+
+    def test_local_points_grid(self, camera):
+        depth = np.full((60, 80), 1000, dtype=np.uint16)
+        points, valid = camera.local_points(depth)
+        assert points.shape == (60, 80, 3)
+        assert valid.all()
+        np.testing.assert_allclose(points[..., 2], 1.0)
+
+    def test_world_frame_unprojection(self, intrinsics):
+        # Camera at (0, 0, -2) looking at origin: a point 2 m ahead on the
+        # optical axis should land at the origin in world coordinates.
+        cam = RGBDCamera.looking_at(np.array([0.0, 0.0, -2.0]), np.zeros(3), intrinsics)
+        depth = np.zeros((60, 80), dtype=np.uint16)
+        depth[int(intrinsics.cy), int(intrinsics.cx)] = 2000
+        cloud = cam.unproject(depth)
+        np.testing.assert_allclose(cloud.positions[0], [0.0, 0.0, 0.0], atol=0.05)
+
+    def test_project_behind_camera_flagged(self, camera):
+        u, v, z = camera.project(np.array([[0.0, 0.0, -1.0]]))
+        assert z[0] < 0
+        assert not camera.in_image(u, v)[0]
+
+
+class TestCameraRange:
+    def test_invalid_depth_range(self, intrinsics):
+        with pytest.raises(ValueError):
+            RGBDCamera(intrinsics, CameraExtrinsics(np.eye(4)), min_depth_m=2.0, max_depth_m=1.0)
+
+    def test_extrinsics_position(self):
+        t = np.eye(4)
+        t[:3, 3] = [1.0, 2.0, 3.0]
+        ext = CameraExtrinsics(t)
+        np.testing.assert_array_equal(ext.position, [1.0, 2.0, 3.0])
+
+    def test_extrinsics_inverse(self):
+        t = np.eye(4)
+        t[:3, 3] = [1.0, 0.0, 0.0]
+        ext = CameraExtrinsics(t)
+        np.testing.assert_allclose(ext.world_to_camera @ t, np.eye(4), atol=1e-12)
+
+    def test_extrinsics_bad_shape(self):
+        with pytest.raises(ValueError):
+            CameraExtrinsics(np.eye(3))
+
+
+class TestRing:
+    def test_ring_count_and_ids(self, intrinsics):
+        cameras = ring_of_cameras(10, radius_m=2.0, height_m=1.5, intrinsics=intrinsics)
+        assert len(cameras) == 10
+        assert [c.camera_id for c in cameras] == list(range(10))
+
+    def test_ring_cameras_face_target(self, intrinsics):
+        target = np.array([0.0, 1.0, 0.0])
+        cameras = ring_of_cameras(6, 2.0, 1.0, intrinsics, target=target)
+        for cam in cameras:
+            u, v, z = cam.project(target[None, :])
+            assert z[0] > 0
+            assert cam.in_image(u, v)[0]
+
+    def test_ring_radius(self, intrinsics):
+        cameras = ring_of_cameras(4, 3.0, 1.0, intrinsics)
+        for cam in cameras:
+            xz = cam.extrinsics.position[[0, 2]]
+            assert np.linalg.norm(xz) == pytest.approx(3.0)
+
+    def test_ring_rejects_zero_cameras(self, intrinsics):
+        with pytest.raises(ValueError):
+            ring_of_cameras(0, 1.0, 1.0, intrinsics)

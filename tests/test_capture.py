@@ -1,0 +1,219 @@
+"""Tests for the synthetic capture substrate (scenes, renderer, rig, dataset)."""
+
+import numpy as np
+import pytest
+
+from repro.capture.dataset import PANOPTIC_VIDEOS, load_video, video_names
+from repro.capture.renderer import render_rgbd
+from repro.capture.rgbd import MultiViewFrame, RGBDFrame
+from repro.capture.rig import default_rig
+from repro.capture.scene import Box, Ellipsoid, Person, RoomShell, make_scene
+from repro.geometry.camera import CameraExtrinsics, CameraIntrinsics, RGBDCamera
+
+
+class TestRGBDFrame:
+    def make_frame(self):
+        color = np.zeros((8, 10, 3), dtype=np.uint8)
+        depth = np.zeros((8, 10), dtype=np.uint16)
+        depth[2:5, 3:7] = 1200
+        color[2:5, 3:7] = 90
+        return RGBDFrame(color, depth)
+
+    def test_valid_mask(self):
+        frame = self.make_frame()
+        assert frame.num_valid_pixels() == 3 * 4
+        assert frame.valid_mask.sum() == 12
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RGBDFrame(np.zeros((8, 10, 3), dtype=np.uint8), np.zeros((8, 9), dtype=np.uint16))
+
+    def test_culled_zeroes_outside_mask(self):
+        frame = self.make_frame()
+        keep = np.zeros((8, 10), dtype=bool)
+        keep[2, 3] = True
+        culled = frame.culled(keep)
+        assert culled.num_valid_pixels() == 1
+        assert culled.depth_mm[2, 3] == 1200
+        assert culled.color[3, 4].sum() == 0
+
+    def test_culled_bad_mask_shape(self):
+        with pytest.raises(ValueError):
+            self.make_frame().culled(np.zeros((4, 4), dtype=bool))
+
+    def test_multiview_consistency(self):
+        frames = [self.make_frame() for _ in range(3)]
+        multi = MultiViewFrame(frames)
+        assert multi.num_cameras == 3
+        assert multi.total_points() == 36
+        assert multi.raw_size_bytes() == 36 * 15
+
+    def test_multiview_rejects_mixed_resolutions(self):
+        a = self.make_frame()
+        b = RGBDFrame(np.zeros((4, 4, 3), dtype=np.uint8), np.zeros((4, 4), dtype=np.uint16))
+        with pytest.raises(ValueError):
+            MultiViewFrame([a, b])
+
+    def test_multiview_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MultiViewFrame([])
+
+
+class TestPrimitives:
+    def test_ellipsoid_samples_on_surface(self):
+        ell = Ellipsoid(np.zeros(3), np.array([1.0, 2.0, 0.5]), np.array([100.0, 0, 0]))
+        points, colors = ell.sample(0.0, 500, np.random.default_rng(0))
+        # Implicit surface equation: sum((p/r)^2) == 1.
+        values = ((points / ell.radii) ** 2).sum(axis=1)
+        np.testing.assert_allclose(values, 1.0, atol=1e-9)
+        assert colors.shape == (500, 3)
+
+    def test_ellipsoid_motion(self):
+        ell = Ellipsoid(
+            np.zeros(3), np.ones(3), np.zeros(3),
+            motion_amplitude=np.array([1.0, 0, 0]), motion_frequency_hz=1.0,
+        )
+        np.testing.assert_allclose(ell.center_at(0.25), [1.0, 0, 0], atol=1e-12)
+        np.testing.assert_allclose(ell.center_at(0.0), [0, 0, 0], atol=1e-12)
+
+    def test_box_samples_on_faces(self):
+        box = Box(np.zeros(3), np.array([1.0, 0.5, 2.0]), np.array([0.0, 100.0, 0]))
+        points, _ = box.sample(0.0, 400, np.random.default_rng(1))
+        on_face = (
+            np.isclose(np.abs(points[:, 0]), 1.0)
+            | np.isclose(np.abs(points[:, 1]), 0.5)
+            | np.isclose(np.abs(points[:, 2]), 2.0)
+        )
+        assert on_face.all()
+        assert np.all(np.abs(points) <= np.array([1.0, 0.5, 2.0]) + 1e-9)
+
+    def test_room_shell_floor_and_walls(self):
+        room = RoomShell(half_width=2.0, half_depth=2.0, wall_height=2.5)
+        points, _ = room.sample(0.0, 1000, np.random.default_rng(2))
+        on_floor = np.isclose(points[:, 1], 0.0)
+        on_wall = (
+            np.isclose(np.abs(points[:, 0]), 2.0) | np.isclose(np.abs(points[:, 2]), 2.0)
+        )
+        assert (on_floor | on_wall).all()
+        assert on_floor.any() and on_wall.any()
+
+    def test_person_moves_over_time(self):
+        person = Person(np.zeros(3), motion_amplitude_m=0.3, motion_frequency_hz=1.0)
+        rng = np.random.default_rng(3)
+        p0, _ = person.sample(0.0, 300, np.random.default_rng(3))
+        p1, _ = person.sample(0.25, 300, np.random.default_rng(3))
+        # Same RNG stream, different time: displacement comes from motion.
+        assert np.linalg.norm(p1.mean(axis=0) - p0.mean(axis=0)) > 0.01
+
+    def test_person_area_positive(self):
+        assert Person(np.zeros(3)).area() > 0
+
+
+class TestScene:
+    def test_sample_budget_respected(self):
+        scene = make_scene("t", num_people=2, num_props=2, sample_budget=5000, seed=0)
+        points, colors = scene.sample(0.0)
+        assert len(points) == 5000
+        assert colors.dtype == np.uint8
+
+    def test_deterministic_replay(self):
+        scene_a = make_scene("t", 1, 1, sample_budget=2000, seed=7)
+        scene_b = make_scene("t", 1, 1, sample_budget=2000, seed=7)
+        pa, ca = scene_a.sample(0.5)
+        pb, cb = scene_b.sample(0.5)
+        np.testing.assert_array_equal(pa, pb)
+        np.testing.assert_array_equal(ca, cb)
+
+    def test_object_count(self):
+        scene = make_scene("t", num_people=3, num_props=4, seed=1)
+        assert scene.num_objects == 7
+
+
+class TestRenderer:
+    @pytest.fixture
+    def camera(self):
+        intr = CameraIntrinsics.from_fov(80, 60)
+        return RGBDCamera(intr, CameraExtrinsics(np.eye(4)))
+
+    def test_nearest_point_wins(self, camera):
+        # Two points along the optical axis; the nearer one must win.
+        points = np.array([[0.0, 0.0, 3.0], [0.0, 0.0, 1.5]])
+        colors = np.array([[255, 0, 0], [0, 255, 0]], dtype=np.uint8)
+        frame = render_rgbd(camera, points, colors)
+        cy, cx = 30, 40
+        assert frame.depth_mm[cy, cx] == 1500
+        np.testing.assert_array_equal(frame.color[cy, cx], [0, 255, 0])
+
+    def test_out_of_range_points_dropped(self, camera):
+        points = np.array([[0.0, 0.0, 0.1], [0.0, 0.0, 20.0], [0.0, 0.0, -2.0]])
+        colors = np.zeros((3, 3), dtype=np.uint8)
+        frame = render_rgbd(camera, points, colors)
+        assert frame.num_valid_pixels() == 0
+
+    def test_rendered_depth_roundtrips_through_unprojection(self, camera):
+        rng = np.random.default_rng(5)
+        points = rng.uniform(-0.5, 0.5, size=(500, 3)) + np.array([0, 0, 2.0])
+        colors = rng.integers(0, 255, size=(500, 3), dtype=np.uint8)
+        frame = render_rgbd(camera, points, colors, hole_fill_iterations=0)
+        cloud = camera.unproject(frame.depth_mm, frame.color)
+        assert not cloud.is_empty
+        # Reconstructed points lie near some original point (pixel+mm error).
+        from scipy.spatial import cKDTree
+
+        distances, _ = cKDTree(points).query(cloud.positions)
+        assert np.percentile(distances, 95) < 0.08
+
+    def test_hole_filling_densifies_surfaces(self, camera):
+        """Sparse splats of a flat wall become a dense depth map."""
+        rng = np.random.default_rng(6)
+        # A wall at z = 2 m covering the whole view, sparsely sampled.
+        xs = rng.uniform(-1.5, 1.5, size=4000)
+        ys = rng.uniform(-1.2, 1.2, size=4000)
+        points = np.stack([xs, ys, np.full(4000, 2.0)], axis=1)
+        colors = np.full((4000, 3), 120, dtype=np.uint8)
+        sparse = render_rgbd(camera, points, colors, hole_fill_iterations=0)
+        dense = render_rgbd(camera, points, colors, hole_fill_iterations=2)
+        assert dense.num_valid_pixels() > sparse.num_valid_pixels()
+        # Filled pixels carry plausible depth (near 2000 mm).
+        filled = dense.valid_mask & ~sparse.valid_mask
+        assert np.abs(dense.depth_mm[filled].astype(int) - 2000).max() < 50
+
+
+class TestRigAndDataset:
+    def test_default_rig_shape(self):
+        rig = default_rig(num_cameras=4, width=40, height=30)
+        assert rig.num_cameras == 4
+        assert rig.frame_interval_s == pytest.approx(1 / 30)
+
+    def test_capture_produces_valid_views(self):
+        rig = default_rig(num_cameras=3, width=48, height=36)
+        scene = make_scene("t", 1, 1, sample_budget=8000, seed=2)
+        multi = rig.capture(scene, sequence=5)
+        assert multi.num_cameras == 3
+        assert multi.sequence == 5
+        assert multi.total_points() > 500  # scene is visible
+
+    def test_stream_sequences(self):
+        rig = default_rig(num_cameras=2, width=32, height=24)
+        scene = make_scene("t", 1, 0, sample_budget=3000, seed=3)
+        frames = list(rig.stream(scene, num_frames=3))
+        assert [f.sequence for f in frames] == [0, 1, 2]
+
+    def test_dataset_has_five_videos(self):
+        assert video_names() == ["band2", "dance5", "office1", "pizza1", "toddler4"]
+
+    def test_dataset_object_counts_match_table3(self):
+        expected = {"band2": 9, "dance5": 1, "office1": 7, "pizza1": 14, "toddler4": 3}
+        for name, count in expected.items():
+            spec = PANOPTIC_VIDEOS[name]
+            assert spec.paper_objects == count
+            assert spec.num_people + spec.num_props == count
+
+    def test_load_video(self):
+        spec, scene = load_video("dance5", sample_budget=1000)
+        assert spec.name == "dance5"
+        assert scene.num_objects == 1
+
+    def test_load_unknown_video(self):
+        with pytest.raises(KeyError):
+            load_video("nope")

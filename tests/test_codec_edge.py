@@ -1,0 +1,168 @@
+"""Edge-case and property tests for the codec stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.codec.entropy import _pack_bitfields, _unpack_bitfields, decode_levels, encode_levels
+from repro.codec.frame import EncodedFrame, FrameType, PixelFormat
+from repro.codec.quant import QP_MAX_EXTENDED
+from repro.codec.rate_control import RateController
+from repro.codec.video import VideoCodecConfig, VideoDecoder, VideoEncoder
+
+
+class TestBitfieldPacking:
+    @given(
+        st.lists(st.integers(0, 2**20 - 1), min_size=0, max_size=200)
+    )
+    @settings(max_examples=40)
+    def test_pack_unpack_roundtrip(self, values):
+        codes = np.array(values, dtype=np.uint64)
+        # Lengths must cover each code (at least its bit length).
+        lengths = np.array(
+            [max(int(v).bit_length(), 1) for v in values], dtype=np.int64
+        )
+        packed = _pack_bitfields(codes, lengths)
+        unpacked = _unpack_bitfields(packed, lengths)
+        np.testing.assert_array_equal(unpacked, codes)
+
+    def test_empty_input(self):
+        assert _pack_bitfields(np.zeros(0, dtype=np.uint64), np.zeros(0)) == b""
+        assert len(_unpack_bitfields(b"", np.zeros(0, dtype=np.int64))) == 0
+
+    def test_fixed_width_fields(self):
+        codes = np.array([0b10110, 0b00001, 0b11111], dtype=np.uint64)
+        lengths = np.full(3, 5, dtype=np.int64)
+        unpacked = _unpack_bitfields(_pack_bitfields(codes, lengths), lengths)
+        np.testing.assert_array_equal(unpacked, codes)
+
+
+class TestEntropyEdgeCases:
+    def test_all_zero_levels(self):
+        levels = np.zeros((10, 8, 8), dtype=np.int32)
+        blob = encode_levels(levels)
+        np.testing.assert_array_equal(decode_levels(blob), levels)
+        # All-zero content compresses to almost nothing.
+        assert len(blob) < 80
+
+    def test_single_block(self):
+        levels = np.zeros((1, 4, 4), dtype=np.int32)
+        levels[0, 0, 0] = -1
+        np.testing.assert_array_equal(decode_levels(encode_levels(levels)), levels)
+
+    def test_extreme_values(self):
+        levels = np.zeros((2, 8, 8), dtype=np.int32)
+        levels[0, 0, 0] = 2**20
+        levels[1, 7, 7] = -(2**20)
+        np.testing.assert_array_equal(decode_levels(encode_levels(levels)), levels)
+
+    def test_sparser_is_smaller(self):
+        rng = np.random.default_rng(0)
+        base = rng.integers(-100, 100, size=(40, 8, 8)).astype(np.int32)
+        sparse = base.copy()
+        sparse[np.abs(sparse) < 80] = 0
+        very_sparse = base.copy()
+        very_sparse[np.abs(very_sparse) < 95] = 0
+        sizes = [len(encode_levels(x)) for x in (base, sparse, very_sparse)]
+        assert sizes[0] > sizes[1] > sizes[2]
+
+
+class TestCodecEdgeCases:
+    def test_tiny_image(self):
+        image = np.random.default_rng(0).integers(0, 256, (5, 7, 3)).astype(np.uint8)
+        config = VideoCodecConfig(block_size=8, gop_size=2)
+        encoder, decoder = VideoEncoder(config), VideoDecoder(config)
+        encoded, recon = encoder.encode(image, qp=10)
+        np.testing.assert_array_equal(decoder.decode(encoded), recon)
+        assert recon.shape == image.shape
+
+    def test_uniform_image_compresses_tiny(self):
+        image = np.full((48, 64, 3), 128, dtype=np.uint8)
+        encoder = VideoEncoder(VideoCodecConfig(gop_size=1))
+        encoded, recon = encoder.encode(image, qp=20)
+        assert encoded.size_bytes < 700
+        assert np.abs(recon.astype(int) - 128).max() <= 2
+
+    def test_static_video_p_frames_nearly_free(self):
+        image = np.random.default_rng(1).integers(0, 256, (48, 64, 3)).astype(np.uint8)
+        encoder = VideoEncoder(VideoCodecConfig(gop_size=10))
+        first, _ = encoder.encode(image, qp=20)
+        second, recon = encoder.encode(image, qp=20)
+        assert second.size_bytes < first.size_bytes / 10
+        # And the reconstruction does not drift.
+        third, recon3 = encoder.encode(image, qp=20)
+        np.testing.assert_array_equal(recon3, recon)
+
+    def test_max_extended_qp_on_16bit(self):
+        image = np.random.default_rng(2).integers(0, 65536, (24, 32)).astype(np.uint16)
+        encoder = VideoEncoder(VideoCodecConfig.for_depth(gop_size=1))
+        encoded, _ = encoder.encode(image, qp=QP_MAX_EXTENDED)
+        assert encoded.size_bytes < 2500  # crushed almost flat
+
+    def test_extended_qp_rejected_for_color(self):
+        image = np.zeros((16, 16, 3), dtype=np.uint8)
+        encoder = VideoEncoder(VideoCodecConfig(gop_size=1))
+        with pytest.raises(ValueError):
+            encoder.encode(image, qp=60)
+
+    def test_decoder_requires_matching_plane_count(self):
+        config = VideoCodecConfig(gop_size=1)
+        encoder = VideoEncoder(config)
+        encoded, _ = encoder.encode(np.zeros((16, 16, 3), dtype=np.uint8), qp=20)
+        # Corrupt the payload: truncate it.
+        broken = EncodedFrame(
+            encoded.frame_type, encoded.pixel_format, encoded.qp, encoded.sequence,
+            encoded.height, encoded.width, encoded.payload[:3],
+        )
+        with pytest.raises(Exception):
+            VideoDecoder(config).decode(broken)
+
+    def test_reset_mid_stream(self):
+        rng = np.random.default_rng(3)
+        frames = [rng.integers(0, 256, (24, 32, 3)).astype(np.uint8) for _ in range(3)]
+        config = VideoCodecConfig(gop_size=100)
+        encoder, decoder = VideoEncoder(config), VideoDecoder(config)
+        decoder.decode(encoder.encode(frames[0], qp=20)[0])
+        encoder.reset()
+        encoded, recon = encoder.encode(frames[1], qp=20)
+        assert encoded.frame_type is FrameType.INTRA
+        decoder.reset()
+        np.testing.assert_array_equal(decoder.decode(encoded), recon)
+
+    @given(qp=st.integers(0, 51))
+    @settings(max_examples=10, deadline=None)
+    def test_encoder_decoder_agree_property(self, qp):
+        rng = np.random.default_rng(qp)
+        image = rng.integers(0, 256, (16, 24, 3)).astype(np.uint8)
+        config = VideoCodecConfig(gop_size=1)
+        encoder, decoder = VideoEncoder(config), VideoDecoder(config)
+        encoded, recon = encoder.encode(image, qp=qp)
+        np.testing.assert_array_equal(decoder.decode(encoded), recon)
+
+
+class TestRateControllerEdges:
+    def test_first_frame_uses_initial_qp(self):
+        controller = RateController(initial_qp=37)
+        assert controller.propose_qp(10_000) == 37
+
+    def test_alpha_smoothing_converges(self):
+        controller = RateController(initial_qp=30, smoothing=0.5)
+        # Repeated identical observations: alpha settles, proposals stabilize.
+        for _ in range(20):
+            controller.update(30, 5000, 5000)
+        stable = controller.propose_qp(5000)
+        controller.update(30, 5000, 5000)
+        assert controller.propose_qp(5000) == stable
+
+    def test_zero_size_update_ignored(self):
+        controller = RateController()
+        controller.update(30, 0, 1000)
+        assert controller.propose_qp(1000) == controller.last_qp
+
+    def test_extended_range_controller(self):
+        controller = RateController(initial_qp=60, qp_max=QP_MAX_EXTENDED)
+        controller.update(60, 50_000, 1000)
+        # Needs much higher QP; clamped by max_step per frame.
+        assert controller.propose_qp(1000) <= 60 + controller.max_step

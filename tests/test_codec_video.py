@@ -1,0 +1,289 @@
+"""Tests for the video encoder/decoder and rate control."""
+
+import numpy as np
+import pytest
+
+from repro.codec.frame import EncodedFrame, FrameType, PixelFormat
+from repro.codec.motion import (
+    estimate_motion,
+    gather_prediction,
+    search_offsets,
+    shifted_planes,
+)
+from repro.codec.rate_control import RateController
+from repro.codec.video import VideoCodecConfig, VideoDecoder, VideoEncoder
+
+
+def moving_gradient_video(num_frames=6, height=48, width=64, channels=3, shift=2):
+    """A smooth gradient translating horizontally: compressible, with motion."""
+    frames = []
+    base = np.zeros((height, width * 2))
+    xs = np.linspace(0, 4 * np.pi, width * 2)
+    base[:] = 127 + 90 * np.sin(xs)[None, :]
+    base += 30 * np.cos(np.linspace(0, 2 * np.pi, height))[:, None]
+    for index in range(num_frames):
+        window = base[:, index * shift : index * shift + width]
+        if channels == 3:
+            frame = np.stack([window, window * 0.8, window * 0.6], axis=-1)
+            frames.append(np.clip(frame, 0, 255).astype(np.uint8))
+        else:
+            frames.append(np.clip(window * 200, 0, 65535).astype(np.uint16))
+    return frames
+
+
+class TestMotion:
+    def test_search_offsets_zero_first(self):
+        offsets = search_offsets(1)
+        assert offsets[0] == (0, 0)
+        assert len(offsets) == 9
+
+    def test_search_offsets_zero_range(self):
+        assert search_offsets(0) == [(0, 0)]
+
+    def test_shifted_planes_shapes(self):
+        ref = np.arange(30, dtype=float).reshape(5, 6)
+        stack = shifted_planes(ref, search_offsets(1))
+        assert stack.shape == (9, 5, 6)
+        np.testing.assert_array_equal(stack[0], ref)
+
+    def test_shift_direction(self):
+        ref = np.zeros((6, 6))
+        ref[2, 2] = 1.0
+        # Offset (dy, dx) = (1, 0) reads one row lower: predictor for the
+        # frame content having moved up.
+        stack = shifted_planes(ref, [(1, 0)])
+        assert stack[0][1, 2] == 1.0
+
+    def test_estimate_motion_recovers_translation(self):
+        rng = np.random.default_rng(0)
+        ref = rng.normal(size=(32, 32))
+        current = np.roll(ref, shift=-1, axis=0)  # moved up by one pixel
+        offsets = search_offsets(2)
+        stack = shifted_planes(ref, offsets)
+        mv_index, cost = estimate_motion(current, stack, block_size=8)
+        # Interior blocks should all pick offset (1, 0).
+        assert offsets[int(np.bincount(mv_index).argmax())] == (1, 0)
+
+    def test_gather_prediction_selects_per_block(self):
+        ref = np.arange(64, dtype=float).reshape(8, 8)
+        offsets = [(0, 0), (1, 0)]
+        stack = shifted_planes(ref, offsets)
+        mv_index = np.array([1], dtype=np.uint8)
+        predictor = gather_prediction(stack, mv_index, block_size=8)
+        np.testing.assert_array_equal(predictor[0], stack[1])
+
+
+class TestFrameSerialization:
+    def test_roundtrip(self):
+        frame = EncodedFrame(
+            FrameType.INTER, PixelFormat.GRAY16, qp=17, sequence=42,
+            height=60, width=80, payload=b"\x01\x02\x03",
+        )
+        parsed = EncodedFrame.from_bytes(frame.to_bytes())
+        assert parsed == frame
+
+    def test_size_accounts_for_header(self):
+        frame = EncodedFrame(
+            FrameType.INTRA, PixelFormat.RGB8, 10, 0, 4, 4, b"xy"
+        )
+        assert frame.size_bytes == len(frame.to_bytes())
+        assert frame.size_bits == frame.size_bytes * 8
+
+    def test_bad_magic_rejected(self):
+        frame = EncodedFrame(FrameType.INTRA, PixelFormat.RGB8, 10, 0, 4, 4, b"")
+        data = b"XXXX" + frame.to_bytes()[4:]
+        with pytest.raises(ValueError):
+            EncodedFrame.from_bytes(data)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            EncodedFrame.from_bytes(b"\x00\x01")
+
+
+class TestVideoCodecColor:
+    def test_intra_roundtrip_quality(self):
+        frame = moving_gradient_video(1)[0]
+        encoder = VideoEncoder(VideoCodecConfig(gop_size=1))
+        encoded, recon = encoder.encode(frame, qp=10)
+        assert encoded.frame_type is FrameType.INTRA
+        rmse = np.sqrt(((recon.astype(float) - frame.astype(float)) ** 2).mean())
+        assert rmse < 6.0
+
+    def test_decoder_matches_encoder_reconstruction(self):
+        frames = moving_gradient_video(4)
+        config = VideoCodecConfig(gop_size=4, search_range=1)
+        encoder, decoder = VideoEncoder(config), VideoDecoder(config)
+        for frame in frames:
+            encoded, recon = encoder.encode(frame, qp=20)
+            decoded = decoder.decode(encoded)
+            np.testing.assert_array_equal(decoded, recon)
+
+    def test_gop_structure(self):
+        frames = moving_gradient_video(6)
+        encoder = VideoEncoder(VideoCodecConfig(gop_size=3))
+        types = [encoder.encode(f, qp=25)[0].frame_type for f in frames]
+        assert types == [
+            FrameType.INTRA, FrameType.INTER, FrameType.INTER,
+            FrameType.INTRA, FrameType.INTER, FrameType.INTER,
+        ]
+
+    def test_inter_frames_smaller_than_intra(self):
+        # A fixed random texture translating by exactly 2 px per frame:
+        # incompressible spatially, perfectly predictable temporally.
+        rng = np.random.default_rng(9)
+        texture = rng.integers(0, 256, size=(48, 80, 3)).astype(np.uint8)
+        frames = [texture[:, 2 * i : 2 * i + 64] for i in range(4)]
+        encoder = VideoEncoder(VideoCodecConfig(gop_size=10, search_range=2))
+        sizes = [encoder.encode(f, qp=25)[0].size_bytes for f in frames]
+        assert all(size < sizes[0] * 0.8 for size in sizes[1:])
+
+    def test_higher_qp_smaller_and_worse(self):
+        frame = moving_gradient_video(1)[0]
+        results = {}
+        for qp in (8, 40):
+            encoder = VideoEncoder(VideoCodecConfig(gop_size=1))
+            encoded, recon = encoder.encode(frame, qp=qp)
+            rmse = np.sqrt(((recon.astype(float) - frame.astype(float)) ** 2).mean())
+            results[qp] = (encoded.size_bytes, rmse)
+        assert results[40][0] < results[8][0]
+        assert results[40][1] > results[8][1]
+
+    def test_force_intra(self):
+        frames = moving_gradient_video(3)
+        encoder = VideoEncoder(VideoCodecConfig(gop_size=30))
+        encoder.encode(frames[0], qp=25)
+        encoded, _ = encoder.encode(frames[1], qp=25, force_intra=True)
+        assert encoded.frame_type is FrameType.INTRA
+
+    def test_invalid_qp(self):
+        encoder = VideoEncoder()
+        with pytest.raises(ValueError):
+            encoder.encode(moving_gradient_video(1)[0], qp=99)
+
+    def test_unsupported_format(self):
+        encoder = VideoEncoder()
+        with pytest.raises(ValueError):
+            encoder.encode(np.zeros((8, 8, 4), dtype=np.uint8), qp=20)
+
+    def test_decode_inter_without_reference_fails(self):
+        config = VideoCodecConfig(gop_size=2)
+        encoder, decoder = VideoEncoder(config), VideoDecoder(config)
+        encoder.encode(moving_gradient_video(1)[0], qp=20)
+        encoded, _ = encoder.encode(moving_gradient_video(2)[1], qp=20)
+        assert encoded.frame_type is FrameType.INTER
+        with pytest.raises(ValueError):
+            decoder.decode(encoded)
+
+
+class TestVideoCodec16Bit:
+    def test_gray16_roundtrip(self):
+        frames = moving_gradient_video(3, channels=1)
+        config = VideoCodecConfig.for_depth(gop_size=3)
+        encoder, decoder = VideoEncoder(config), VideoDecoder(config)
+        for frame in frames:
+            encoded, recon = encoder.encode(frame, qp=14)
+            assert encoded.pixel_format is PixelFormat.GRAY16
+            decoded = decoder.decode(encoded)
+            np.testing.assert_array_equal(decoded, recon)
+            assert decoded.dtype == np.uint16
+
+    def test_gray16_distortion_scales_with_qp(self):
+        frame = moving_gradient_video(1, channels=1)[0]
+        errors = {}
+        for qp in (4, 45):
+            encoder = VideoEncoder(VideoCodecConfig.for_depth(gop_size=1))
+            _, recon = encoder.encode(frame, qp=qp)
+            errors[qp] = np.abs(recon.astype(float) - frame.astype(float)).mean()
+        assert errors[45] > errors[4]
+        # At QP 4 (step 1) the reconstruction is near-lossless relative to
+        # the 16-bit range.
+        assert errors[4] < 3.0
+
+    def test_depth_config_uses_flat_weights(self):
+        config = VideoCodecConfig.for_depth()
+        assert config.weight_strength == 0.0
+
+
+class TestRateControl:
+    def test_converges_to_target(self):
+        frames = moving_gradient_video(30)
+        encoder = VideoEncoder(VideoCodecConfig(gop_size=30, search_range=1))
+        target = 2500
+        sizes = [encoder.encode_to_target(f, target)[0].size_bytes for f in frames]
+        # After warmup, P-frame sizes should hover near the budget.
+        steady = np.array(sizes[5:])
+        assert 0.2 * target < steady.mean() < 1.5 * target
+
+    def test_rate_halves_per_six_qp_model(self):
+        controller = RateController(initial_qp=30)
+        controller.update(qp_used=30, size_bytes=8000, target_bytes=8000)
+        # Target half the size: model should ask for about +6 QP.
+        assert controller.propose_qp(4000) == pytest.approx(36, abs=1)
+
+    def test_retry_only_on_large_overshoot(self):
+        controller = RateController()
+        assert controller.retry_qp(30, size_bytes=1000, target_bytes=900) is None
+        retry = controller.retry_qp(30, size_bytes=4000, target_bytes=1000)
+        assert retry is not None and retry > 30
+
+    def test_qp_step_clamped(self):
+        controller = RateController(initial_qp=30, max_step=4)
+        controller.update(30, 100_000, 100_000)
+        assert abs(controller.propose_qp(10) - 30) <= 4
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RateController(qp_min=40, qp_max=10)
+        with pytest.raises(ValueError):
+            RateController(smoothing=0.0)
+
+    def test_encode_to_target_invalid_budget(self):
+        encoder = VideoEncoder()
+        with pytest.raises(ValueError):
+            encoder.encode_to_target(moving_gradient_video(1)[0], 0)
+
+    def test_lower_target_lowers_size(self):
+        frames = moving_gradient_video(24)
+        sizes = {}
+        for target in (1200, 6000):
+            encoder = VideoEncoder(VideoCodecConfig(gop_size=100))
+            sequence = [encoder.encode_to_target(f, target)[0].size_bytes for f in frames]
+            sizes[target] = np.mean(sequence[4:])
+        assert sizes[1200] < sizes[6000]
+
+
+class TestChromaSubsampling:
+    def test_roundtrip_encoder_decoder_agree(self):
+        frames = moving_gradient_video(3)
+        config = VideoCodecConfig(gop_size=3, chroma_subsampling=True)
+        encoder, decoder = VideoEncoder(config), VideoDecoder(config)
+        for frame in frames:
+            encoded, recon = encoder.encode(frame, qp=22)
+            np.testing.assert_array_equal(decoder.decode(encoded), recon)
+            assert recon.shape == frame.shape
+
+    def test_odd_dimensions(self):
+        rng = np.random.default_rng(11)
+        image = rng.integers(0, 256, (17, 23, 3)).astype(np.uint8)
+        config = VideoCodecConfig(gop_size=1, chroma_subsampling=True)
+        encoder, decoder = VideoEncoder(config), VideoDecoder(config)
+        encoded, recon = encoder.encode(image, qp=15)
+        np.testing.assert_array_equal(decoder.decode(encoded), recon)
+        assert recon.shape == image.shape
+
+    def test_shrinks_stream_at_matched_qp(self):
+        rng = np.random.default_rng(12)
+        image = rng.integers(0, 256, (48, 64, 3)).astype(np.uint8)
+        sizes = {}
+        for subsampling in (False, True):
+            config = VideoCodecConfig(gop_size=1, chroma_subsampling=subsampling)
+            encoded, _ = VideoEncoder(config).encode(image, qp=20)
+            sizes[subsampling] = encoded.size_bytes
+        assert sizes[True] < sizes[False]
+
+    def test_gray16_unaffected(self):
+        frame = moving_gradient_video(1, channels=1)[0]
+        config = VideoCodecConfig.for_depth(gop_size=1, chroma_subsampling=True)
+        encoder, decoder = VideoEncoder(config), VideoDecoder(config)
+        encoded, recon = encoder.encode(frame, qp=10)
+        np.testing.assert_array_equal(decoder.decode(encoded), recon)

@@ -1,0 +1,132 @@
+"""Tests for multi-way conferencing (one sender, several receivers)."""
+
+import numpy as np
+import pytest
+
+from repro.capture.dataset import load_video
+from repro.capture.rig import default_rig
+from repro.core.config import SessionConfig
+from repro.core.multiway import MultiwaySender, cull_views_union
+from repro.geometry.frustum import Frustum
+from repro.prediction.pose import Pose
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = SessionConfig(
+        num_cameras=4, camera_width=48, camera_height=36,
+        scene_sample_budget=12_000, gop_size=8,
+    )
+    rig = default_rig(num_cameras=4, width=48, height=36)
+    _, scene = load_video("pizza1", sample_budget=12_000)
+    return config, rig, scene
+
+
+def narrow_frustum(position, fov=35.0):
+    return Frustum.from_camera(
+        np.asarray(position, dtype=float), np.eye(3),
+        vertical_fov_deg=fov, aspect=1.4, near_m=0.1, far_m=6.0,
+    )
+
+
+class TestUnionCulling:
+    def test_union_keeps_superset_of_each(self, setup):
+        _, rig, scene = setup
+        frame = rig.capture(scene, 0)
+        f1 = narrow_frustum([0.6, 1.0, -2.0])
+        f2 = narrow_frustum([-0.6, 1.0, -2.0])
+        union = cull_views_union(frame, rig.cameras, [f1, f2])
+        from repro.prediction.culling import cull_views
+
+        only1 = cull_views(frame, rig.cameras, f1)
+        only2 = cull_views(frame, rig.cameras, f2)
+        assert union.total_points() >= only1.total_points()
+        assert union.total_points() >= only2.total_points()
+        # And below the no-cull total (the frustums are narrow).
+        assert union.total_points() < frame.total_points()
+
+    def test_union_of_one_equals_single(self, setup):
+        _, rig, scene = setup
+        frame = rig.capture(scene, 0)
+        frustum = narrow_frustum([0.0, 1.2, -2.0])
+        from repro.prediction.culling import cull_views
+
+        union = cull_views_union(frame, rig.cameras, [frustum])
+        single = cull_views(frame, rig.cameras, frustum)
+        assert union.total_points() == single.total_points()
+
+    def test_empty_frustum_list_rejected(self, setup):
+        _, rig, scene = setup
+        frame = rig.capture(scene, 0)
+        with pytest.raises(ValueError):
+            cull_views_union(frame, rig.cameras, [])
+
+
+class TestMultiwaySender:
+    def poses(self):
+        return {
+            "alice": Pose.looking_at(np.array([1.2, 1.4, -1.6]), np.array([0, 1, 0])),
+            "bob": Pose.looking_at(np.array([-1.2, 1.4, -1.6]), np.array([0, 1, 0])),
+        }
+
+    def test_shared_mode_single_encode(self, setup):
+        config, rig, scene = setup
+        sender = MultiwaySender(rig.cameras, config, ["alice", "bob"], mode="shared")
+        for name, pose in self.poses().items():
+            sender.observe_pose(name, pose, 0.0)
+        result = sender.process(rig.capture(scene, 0), 8e6, 0.1)
+        assert result.mode == "shared"
+        assert result.encoder_runs == 2
+        assert result.shared is not None and result.per_receiver is None
+
+    def test_unicast_mode_per_receiver_encodes(self, setup):
+        config, rig, scene = setup
+        sender = MultiwaySender(rig.cameras, config, ["alice", "bob"], mode="unicast")
+        for name, pose in self.poses().items():
+            sender.observe_pose(name, pose, 0.0)
+        result = sender.process(rig.capture(scene, 0), 8e6, 0.1)
+        assert result.mode == "unicast"
+        assert result.encoder_runs == 4
+        assert set(result.per_receiver) == {"alice", "bob"}
+
+    def test_shared_cheaper_uplink_than_unicast(self, setup):
+        """The cross-receiver optimization the paper points at."""
+        config, rig, scene = setup
+        shared = MultiwaySender(rig.cameras, config, ["alice", "bob"], mode="shared")
+        unicast = MultiwaySender(rig.cameras, config, ["alice", "bob"], mode="unicast")
+        for sender in (shared, unicast):
+            for name, pose in self.poses().items():
+                sender.observe_pose(name, pose, 0.0)
+        frame = rig.capture(scene, 0)
+        shared_result = shared.process(frame, 8e6, 0.1)
+        unicast_result = unicast.process(frame, 8e6, 0.1)
+        assert shared_result.total_bytes < unicast_result.total_bytes
+
+    def test_shared_culls_union_before_encoding(self, setup):
+        config, rig, scene = setup
+        sender = MultiwaySender(rig.cameras, config, ["alice"], mode="shared")
+        sender.observe_pose("alice", self.poses()["alice"], 0.0)
+        frame = rig.capture(scene, 0)
+        result = sender.process(frame, 8e6, 0.1)
+        assert result.shared.culled_multiview.total_points() < frame.total_points()
+
+    def test_before_any_pose_sends_full_scene(self, setup):
+        config, rig, scene = setup
+        sender = MultiwaySender(rig.cameras, config, ["alice"], mode="shared")
+        frame = rig.capture(scene, 0)
+        result = sender.process(frame, 8e6, 0.1)
+        assert result.shared.culled_multiview.total_points() == frame.total_points()
+
+    def test_invalid_construction(self, setup):
+        config, rig, _ = setup
+        with pytest.raises(ValueError):
+            MultiwaySender(rig.cameras, config, [], mode="shared")
+        with pytest.raises(ValueError):
+            MultiwaySender(rig.cameras, config, ["a", "a"], mode="shared")
+        with pytest.raises(ValueError):
+            MultiwaySender(rig.cameras, config, ["a"], mode="broadcast")
+
+    def test_receiver_names(self, setup):
+        config, rig, _ = setup
+        sender = MultiwaySender(rig.cameras, config, ["x", "y"], mode="unicast")
+        assert sender.receiver_names == ["x", "y"]

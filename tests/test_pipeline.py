@@ -1,0 +1,117 @@
+"""Tests for the staged-pipeline timing model (appendix A.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PipelineStage, StagedPipeline
+from repro.metrics.latency import LIVO_STAGES
+
+
+def livo_stage_chain():
+    """The paper's sender+receiver stages as a pipeline (Table 6 values)."""
+    s = LIVO_STAGES
+    return [
+        PipelineStage("capture", s.capture / 1000),
+        PipelineStage("view generation", s.view_generation / 1000),
+        PipelineStage("tiling", s.tiling / 1000),
+        PipelineStage("encoding", s.encoding / 1000),
+        PipelineStage("receive+sync", s.receive_sync / 1000),
+        PipelineStage("decoding", s.decoding / 1000),
+        PipelineStage("reconstruction", s.reconstruction / 1000),
+        PipelineStage("rendering", s.rendering / 1000),
+    ]
+
+
+class TestStageValidation:
+    def test_invalid_stage(self):
+        with pytest.raises(ValueError):
+            PipelineStage("x", -0.1)
+        with pytest.raises(ValueError):
+            PipelineStage("x", 0.01, jitter_s=0.02)
+
+    def test_invalid_pipeline(self):
+        with pytest.raises(ValueError):
+            StagedPipeline([])
+        with pytest.raises(ValueError):
+            StagedPipeline([PipelineStage("x", 0.01)], admission_buffer=0)
+
+    def test_invalid_run(self):
+        pipeline = StagedPipeline([PipelineStage("x", 0.01)])
+        with pytest.raises(ValueError):
+            pipeline.run(0, 30)
+        with pytest.raises(ValueError):
+            pipeline.run(10, 0)
+
+
+class TestThroughput:
+    def test_sustains_when_all_stages_fit_interval(self):
+        """The paper's design rule: each stage < one inter-frame interval."""
+        pipeline = StagedPipeline(livo_stage_chain())
+        assert pipeline.sustains(30.0)
+        run = pipeline.run(90, fps=30.0)
+        assert run.drops == 0
+        assert run.throughput_fps() == pytest.approx(30.0, rel=0.02)
+
+    def test_slow_stage_limits_throughput_and_drops(self):
+        stages = [
+            PipelineStage("fast", 0.005),
+            PipelineStage("slow", 0.050),  # 50 ms > 33 ms interval
+            PipelineStage("fast2", 0.005),
+        ]
+        pipeline = StagedPipeline(stages)
+        assert not pipeline.sustains(30.0)
+        run = pipeline.run(90, fps=30.0)
+        assert run.drops > 0
+        assert run.throughput_fps() == pytest.approx(20.0, rel=0.05)  # 1/50ms
+
+    def test_bottleneck_identification(self):
+        pipeline = StagedPipeline(
+            [PipelineStage("a", 0.01), PipelineStage("b", 0.03), PipelineStage("c", 0.02)]
+        )
+        assert pipeline.bottleneck().name == "b"
+
+
+class TestLatency:
+    def test_unloaded_latency_is_sum_of_stages(self):
+        """Pipelining overlaps frames; it does not shorten one frame's path."""
+        pipeline = StagedPipeline(livo_stage_chain())
+        run = pipeline.run(60, fps=30.0)
+        expected = pipeline.sum_of_service_times()
+        np.testing.assert_allclose(run.latencies_s, expected, rtol=1e-9)
+
+    def test_paper_processing_budget(self):
+        """Total end-to-end *processing* latency stays within 180 ms
+        (appendix A.1)."""
+        pipeline = StagedPipeline(livo_stage_chain())
+        run = pipeline.run(60, fps=30.0)
+        assert run.mean_latency_s < 0.180
+
+    def test_overloaded_stage_builds_queueing_latency(self):
+        stages = [PipelineStage("slow", 0.040)]
+        run = StagedPipeline(stages, admission_buffer=10).run(60, fps=30.0)
+        # Later frames wait behind earlier ones: latency grows.
+        assert run.latencies_s[-1] > run.latencies_s[0] + 0.020
+
+    def test_jitter_varies_latency_but_keeps_mean(self):
+        stages = [PipelineStage("j", 0.020, jitter_s=0.005)]
+        run = StagedPipeline(stages, seed=1).run(200, fps=30.0)
+        assert run.latencies_s.std() > 0
+        assert run.mean_latency_s == pytest.approx(0.020, abs=0.002)
+
+    def test_single_frame(self):
+        run = StagedPipeline([PipelineStage("x", 0.01)]).run(1, fps=30.0)
+        assert len(run.completion_times_s) == 1
+        assert run.throughput_fps() == 0.0
+
+
+class TestAdmissionControl:
+    def test_tight_buffer_drops_more(self):
+        stages = [PipelineStage("slow", 0.050)]
+        tight = StagedPipeline(stages, admission_buffer=1).run(60, fps=30.0)
+        loose = StagedPipeline(stages, admission_buffer=8).run(60, fps=30.0)
+        assert tight.drops > loose.drops
+
+    def test_accepted_plus_dropped_equals_offered(self):
+        stages = [PipelineStage("slow", 0.060)]
+        run = StagedPipeline(stages, admission_buffer=2).run(45, fps=30.0)
+        assert len(run.completion_times_s) + run.drops == 45

@@ -1,0 +1,93 @@
+"""Edge cases for session drivers and scheme naming."""
+
+import pytest
+
+from repro.capture.dataset import load_video
+from repro.core.config import SchemeFlags, SessionConfig
+from repro.core.session import DracoOracleSession, LiVoSession, MeshReduceSession
+from repro.prediction.pose import user_traces_for_video
+from repro.transport.traces import constant_trace
+
+FRAMES = 8
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    _, scene = load_video("dance5", sample_budget=10_000)
+    user = user_traces_for_video("dance5", FRAMES + 10)[0]
+    return scene, user
+
+
+def tiny_config(**overrides) -> SessionConfig:
+    params = dict(
+        num_cameras=4, camera_width=40, camera_height=30,
+        scene_sample_budget=10_000, gop_size=6, quality_every=4,
+    )
+    params.update(overrides)
+    return SessionConfig(**params)
+
+
+class TestSchemeNaming:
+    def test_auto_name_livo(self, tiny_workload):
+        scene, user = tiny_workload
+        report = LiVoSession(tiny_config()).run(
+            scene, user, constant_trace(100.0), FRAMES
+        )
+        assert report.scheme == "LiVo"
+
+    def test_auto_name_nocull(self, tiny_workload):
+        scene, user = tiny_workload
+        config = tiny_config(scheme=SchemeFlags(culling=False))
+        report = LiVoSession(config).run(scene, user, constant_trace(100.0), FRAMES)
+        assert report.scheme == "LiVo-NoCull"
+
+    def test_auto_name_noadapt(self, tiny_workload):
+        scene, user = tiny_workload
+        config = tiny_config(scheme=SchemeFlags(culling=False, adaptation=False))
+        report = LiVoSession(config).run(scene, user, constant_trace(100.0), FRAMES)
+        assert report.scheme == "LiVo-NoAdapt"
+
+    def test_explicit_name_wins(self, tiny_workload):
+        scene, user = tiny_workload
+        report = LiVoSession(tiny_config()).run(
+            scene, user, constant_trace(100.0), FRAMES, scheme_name="custom"
+        )
+        assert report.scheme == "custom"
+
+
+class TestExplicitTraceScale:
+    def test_trace_scale_override(self, tiny_workload):
+        scene, user = tiny_workload
+        config = tiny_config(trace_scale=0.5)
+        report = LiVoSession(config).run(scene, user, constant_trace(10.0), FRAMES)
+        assert report.trace_scale == 0.5
+        assert report.mean_capacity_mbps == pytest.approx(5.0)
+
+    def test_paper_equivalent_throughput(self, tiny_workload):
+        scene, user = tiny_workload
+        config = tiny_config(trace_scale=0.5)
+        report = LiVoSession(config).run(scene, user, constant_trace(10.0), FRAMES)
+        assert report.paper_equivalent_throughput_mbps == pytest.approx(
+            report.throughput_mbps / 0.5
+        )
+
+
+class TestBaselineSessionEdges:
+    def test_oracle_invalid_frames(self, tiny_workload):
+        scene, user = tiny_workload
+        with pytest.raises(ValueError):
+            DracoOracleSession(tiny_config()).run(scene, user, constant_trace(10.0), 0)
+
+    def test_meshreduce_invalid_frames(self, tiny_workload):
+        scene, user = tiny_workload
+        with pytest.raises(ValueError):
+            MeshReduceSession(tiny_config()).run(scene, user, constant_trace(10.0), 0)
+
+    def test_oracle_respects_custom_fps(self, tiny_workload):
+        scene, user = tiny_workload
+        report = DracoOracleSession(tiny_config()).run(
+            scene, user, constant_trace(100.0), FRAMES, oracle_fps=10.0
+        )
+        assert report.fps_target == 10.0
+        # 30 fps capture ticks strided by 3.
+        assert report.num_frames == -(-FRAMES // 3)

@@ -1,0 +1,107 @@
+"""Tests for rigid transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.transforms import (
+    euler_to_rotation,
+    invert_transform,
+    look_at,
+    make_transform,
+    rotation_to_euler,
+    rotation_x,
+    rotation_y,
+    rotation_z,
+    transform_points,
+)
+
+ANGLES = st.floats(min_value=-1.4, max_value=1.4)
+
+
+class TestRotations:
+    def test_rotation_x_quarter_turn(self):
+        r = rotation_x(np.pi / 2)
+        np.testing.assert_allclose(r @ np.array([0, 1, 0]), [0, 0, 1], atol=1e-12)
+
+    def test_rotation_y_quarter_turn(self):
+        r = rotation_y(np.pi / 2)
+        np.testing.assert_allclose(r @ np.array([0, 0, 1]), [1, 0, 0], atol=1e-12)
+
+    def test_rotation_z_quarter_turn(self):
+        r = rotation_z(np.pi / 2)
+        np.testing.assert_allclose(r @ np.array([1, 0, 0]), [0, 1, 0], atol=1e-12)
+
+    @given(pitch=ANGLES, yaw=ANGLES, roll=ANGLES)
+    @settings(max_examples=50)
+    def test_euler_rotation_is_orthonormal(self, pitch, yaw, roll):
+        r = euler_to_rotation(pitch, yaw, roll)
+        np.testing.assert_allclose(r @ r.T, np.eye(3), atol=1e-10)
+        assert np.linalg.det(r) == pytest.approx(1.0, abs=1e-10)
+
+    @given(pitch=ANGLES, yaw=ANGLES, roll=ANGLES)
+    @settings(max_examples=50)
+    def test_euler_roundtrip(self, pitch, yaw, roll):
+        r = euler_to_rotation(pitch, yaw, roll)
+        recovered = rotation_to_euler(r)
+        r2 = euler_to_rotation(*recovered)
+        np.testing.assert_allclose(r2, r, atol=1e-8)
+
+    def test_rotation_to_euler_gimbal_lock(self):
+        r = euler_to_rotation(0.3, np.pi / 2, 0.2)
+        pitch, yaw, roll = rotation_to_euler(r)
+        r2 = euler_to_rotation(pitch, yaw, roll)
+        np.testing.assert_allclose(r2, r, atol=1e-6)
+
+
+class TestHomogeneous:
+    def test_make_transform_applies_rotation_then_translation(self):
+        t = make_transform(rotation_z(np.pi / 2), [1.0, 2.0, 3.0])
+        out = transform_points(t, np.array([[1.0, 0.0, 0.0]]))
+        np.testing.assert_allclose(out, [[1.0, 3.0, 3.0]], atol=1e-12)
+
+    @given(pitch=ANGLES, yaw=ANGLES, roll=ANGLES,
+           tx=st.floats(-10, 10), ty=st.floats(-10, 10), tz=st.floats(-10, 10))
+    @settings(max_examples=50)
+    def test_invert_transform_is_inverse(self, pitch, yaw, roll, tx, ty, tz):
+        t = make_transform(euler_to_rotation(pitch, yaw, roll), [tx, ty, tz])
+        np.testing.assert_allclose(t @ invert_transform(t), np.eye(4), atol=1e-9)
+
+    def test_transform_points_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            transform_points(np.eye(4), np.zeros((3, 4)))
+
+    def test_transform_points_preserves_distances(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(20, 3))
+        t = make_transform(euler_to_rotation(0.4, -0.7, 0.1), [1, -2, 0.5])
+        moved = transform_points(t, points)
+        original = np.linalg.norm(points[1:] - points[:-1], axis=1)
+        transformed = np.linalg.norm(moved[1:] - moved[:-1], axis=1)
+        np.testing.assert_allclose(transformed, original, atol=1e-10)
+
+
+class TestLookAt:
+    def test_forward_points_at_target(self):
+        t = look_at([0, 0, -5], [0, 0, 0])
+        forward = t[:3, 2]
+        np.testing.assert_allclose(forward, [0, 0, 1], atol=1e-12)
+
+    def test_eye_is_translation(self):
+        eye = np.array([1.0, 2.0, 3.0])
+        t = look_at(eye, [0, 0, 0])
+        np.testing.assert_allclose(t[:3, 3], eye)
+
+    def test_rotation_block_is_orthonormal(self):
+        t = look_at([3, 1, -2], [0, 1, 0])
+        r = t[:3, :3]
+        np.testing.assert_allclose(r.T @ r, np.eye(3), atol=1e-10)
+
+    def test_rejects_coincident_eye_and_target(self):
+        with pytest.raises(ValueError):
+            look_at([1, 1, 1], [1, 1, 1])
+
+    def test_handles_vertical_view(self):
+        t = look_at([0, 5, 0], [0, 0, 0])
+        np.testing.assert_allclose(t[:3, 2], [0, -1, 0], atol=1e-12)
