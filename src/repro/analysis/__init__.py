@@ -6,11 +6,21 @@ API so downstream users can run their own grids:
 
 - :mod:`repro.analysis.aggregate` -- scheme-level aggregation of
   :class:`repro.core.stats.SessionReport` objects;
+- :mod:`repro.analysis.resilience` -- chaos-suite robustness numbers
+  (MTTR, frames survived degraded, crash-free rate);
 - :mod:`repro.analysis.tables` -- plain-text table formatting used by
   the CLI, examples, and benches.
 """
 
 from repro.analysis.aggregate import SchemeSummary, aggregate_reports, compare_schemes
+from repro.analysis.resilience import ResilienceSummary, summarize_resilience
 from repro.analysis.tables import format_table
 
-__all__ = ["SchemeSummary", "aggregate_reports", "compare_schemes", "format_table"]
+__all__ = [
+    "ResilienceSummary",
+    "SchemeSummary",
+    "aggregate_reports",
+    "compare_schemes",
+    "format_table",
+    "summarize_resilience",
+]

@@ -1,0 +1,121 @@
+"""Resilience analysis for chaos-suite sessions.
+
+Collapses the structured :class:`repro.core.stats.FaultEvent` streams
+and per-frame resilience bookkeeping of one or more sessions into the
+headline robustness numbers the chaos suite reports:
+
+- **MTTR** -- mean time to recovery, the average length of completed
+  degradation-ladder episodes (time from first degraded frame until the
+  ladder returns to full quality);
+- **frames survived degraded** -- frames the hardening salvaged that a
+  naive pipeline would have stalled or crashed on (degraded renders plus
+  frame-freezes);
+- **crash-free rate** -- fraction of sessions that ran to completion
+  (a session that raised never produces a report, so callers pass the
+  number attempted alongside the reports that completed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stats import SessionReport
+
+__all__ = ["ResilienceSummary", "summarize_resilience"]
+
+# Event categories that represent an injected or observed fault (as
+# opposed to window-closing ``*_end`` edges and recovery steps).
+FAULT_CATEGORIES = frozenset(
+    {
+        "camera_dropout",
+        "camera_stale",
+        "link_outage",
+        "burst_loss",
+        "encode_failure",
+        "corrupt_frame",
+        "frame_freeze",
+        "frame_abandoned",
+        "zero_byte_frame",
+        "degrade_step",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ResilienceSummary:
+    """Aggregated robustness numbers across chaos sessions."""
+
+    num_sessions: int
+    sessions_attempted: int
+    crash_free_rate: float
+    total_fault_events: int
+    mttr_s: float
+    frames_survived_degraded: int
+    frozen_frames: int
+    degraded_renders: int
+    skipped_frames: int
+    rendered_frames: int
+    stall_rate: float
+    open_episodes: int
+
+    def row(self) -> dict[str, float | int]:
+        """Flat dict for table rendering."""
+        return {
+            "sessions": self.num_sessions,
+            "crash_free%": round(100 * self.crash_free_rate, 1),
+            "faults": self.total_fault_events,
+            "mttr_s": round(self.mttr_s, 3),
+            "survived": self.frames_survived_degraded,
+            "frozen": self.frozen_frames,
+            "degraded": self.degraded_renders,
+            "rendered": self.rendered_frames,
+            "stalls%": round(100 * self.stall_rate, 1),
+        }
+
+
+def summarize_resilience(
+    reports: list[SessionReport], sessions_attempted: int | None = None
+) -> ResilienceSummary:
+    """Aggregate the resilience outcome of chaos-suite sessions.
+
+    ``sessions_attempted`` defaults to ``len(reports)`` (every attempt
+    completed); pass the true attempt count when some sessions raised,
+    so ``crash_free_rate`` reflects them.
+    """
+    if not reports:
+        raise ValueError("need at least one report")
+    attempted = sessions_attempted if sessions_attempted is not None else len(reports)
+    if attempted < len(reports):
+        raise ValueError("sessions_attempted cannot be below the completed count")
+    episode_lengths: list[float] = []
+    open_episodes = 0
+    total_faults = 0
+    for report in reports:
+        for start, end in report.degradation_episodes():
+            if end is None:
+                open_episodes += 1
+            else:
+                episode_lengths.append(end - start)
+        total_faults += sum(
+            1 for event in report.fault_events if event.category in FAULT_CATEGORIES
+        )
+    frames = sum(report.num_frames for report in reports)
+    stalled = sum(
+        sum(1 for f in report.frames if f.stalled) for report in reports
+    )
+    return ResilienceSummary(
+        num_sessions=len(reports),
+        sessions_attempted=attempted,
+        crash_free_rate=len(reports) / attempted if attempted else 0.0,
+        total_fault_events=total_faults,
+        mttr_s=float(np.mean(episode_lengths)) if episode_lengths else 0.0,
+        frames_survived_degraded=sum(r.frames_survived_degraded for r in reports),
+        frozen_frames=sum(r.frozen_frames for r in reports),
+        degraded_renders=sum(r.degraded_renders for r in reports),
+        skipped_frames=sum(r.skipped_frames for r in reports),
+        rendered_frames=sum(r.rendered_frames for r in reports),
+        stall_rate=stalled / frames if frames else 0.0,
+        open_episodes=open_episodes,
+    )

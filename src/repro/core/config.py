@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.faults.degradation import ResilienceConfig
 from repro.transport.link import LinkConfig
 
 __all__ = ["SchemeFlags", "SessionConfig"]
@@ -73,6 +74,10 @@ class SessionConfig:
 
     # Receiver rendering (appendix A.1).
     render_voxel_m: float = 0.03
+
+    # Fault handling + graceful degradation (chaos suite; see
+    # DESIGN.md "Fault model & degradation ladder").
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     # Evaluation.
     quality_every: int = 3        # PointSSIM every Nth rendered frame

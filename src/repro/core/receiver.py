@@ -57,6 +57,8 @@ class LiVoReceiver:
         )
         self._last_color_sequence: int | None = None
         self._last_depth_sequence: int | None = None
+        self.last_good_pair: DecodedPair | None = None
+        self.decode_failures = 0
 
     def _chain_ok(self, last: int | None, frame: EncodedFrame) -> bool:
         """A frame is decodable iff it's INTRA or continues the chain."""
@@ -99,7 +101,46 @@ class LiVoReceiver:
         depth_tiles_mm = [
             unscale_depth(tile, self.config.max_depth_mm) for tile in depth_tiles_scaled
         ]
-        return DecodedPair(color_marker, color_tiles, depth_tiles_mm)
+        pair = DecodedPair(color_marker, color_tiles, depth_tiles_mm)
+        self.last_good_pair = pair
+        return pair
+
+    def reset_streams(self) -> None:
+        """Drop all decoder state after a poisoned bitstream.
+
+        Both prediction chains restart, so only an INTRA pair is
+        accepted next -- the session couples this with a PLI-style
+        keyframe request toward the sender.
+        """
+        self.color_decoder.reset()
+        self.depth_decoder.reset()
+        self._last_color_sequence = None
+        self._last_depth_sequence = None
+
+    def decode_pair_safe(self, color: EncodedFrame, depth: EncodedFrame) -> DecodedPair | None:
+        """Decode a pair, absorbing corrupt or chain-breaking input.
+
+        Returns None instead of raising when the pair is undecodable
+        (truncated payload, entropy-stream damage, marker desync, or a
+        broken reference chain); decoder state is reset so the streams
+        resynchronize on the next keyframe.  The caller is expected to
+        fall back to :meth:`freeze_frame`.
+        """
+        if not self.can_decode(color, depth):
+            return None
+        try:
+            return self.decode_pair(color, depth)
+        except Exception:
+            # A corrupt bitstream can fail anywhere in the decode chain
+            # (struct framing, zlib streams, marker checks); all of it
+            # means the same thing -- this pair is lost.
+            self.decode_failures += 1
+            self.reset_streams()
+            return None
+
+    def freeze_frame(self) -> DecodedPair | None:
+        """Last successfully decoded pair (frame-freeze fallback)."""
+        return self.last_good_pair
 
     def reconstruct(self, pair: DecodedPair) -> PointCloud:
         """Unproject every camera tile and merge into one point cloud."""
@@ -111,14 +152,21 @@ class LiVoReceiver:
         ]
         return PointCloud.merge(clouds)
 
-    def render_view(self, cloud: PointCloud, actual_frustum: Frustum) -> PointCloud:
+    def render_view(
+        self,
+        cloud: PointCloud,
+        actual_frustum: Frustum,
+        voxel_m: float | None = None,
+    ) -> PointCloud:
         """Voxelize then re-cull to the viewer's current frustum.
 
         This is the receiver-side render prep of appendix A.1: the
         received cloud may include guard-band content; rendering culls
         it to the actual view and voxelizes to bound draw cost.
+        ``voxel_m`` overrides the configured render voxel (the
+        degradation ladder's coarse-voxel rung).
         """
         if cloud.is_empty:
             return cloud
-        voxelized = voxel_downsample(cloud, self.config.render_voxel_m)
+        voxelized = voxel_downsample(cloud, voxel_m or self.config.render_voxel_m)
         return voxelized.select(actual_frustum.contains(voxelized.positions))

@@ -95,10 +95,25 @@ class LiVoSender:
             device or ViewingDevice(), guard_band_m=config.guard_band_m
         )
         self._frames_processed = 0
+        self._recover_with_intra = False
+        self.encode_failures = 0
 
     def observe_pose(self, pose: Pose, timestamp_s: float) -> None:
         """Fold in a delayed pose report from the receiver."""
         self.predictor.observe(pose, timestamp_s)
+
+    def _on_encode_failure(self) -> None:
+        """Recover encoder state after a failed encode.
+
+        Both encoders are reset so their next output is a clean INTRA
+        pair (a crashed encoder's reference state is untrustworthy),
+        which also restores the receiver's prediction chain without an
+        explicit PLI round trip.
+        """
+        self.encode_failures += 1
+        self._recover_with_intra = True
+        self.color_encoder.reset()
+        self.depth_encoder.reset()
 
     def process(
         self,
@@ -106,8 +121,18 @@ class LiVoSender:
         target_rate_bps: float,
         prediction_horizon_s: float,
         force_intra: bool = False,
-    ) -> SenderResult:
-        """Run one capture through the full sender pipeline."""
+        fail_encode: bool = False,
+        color_budget_scale: float = 1.0,
+    ) -> SenderResult | None:
+        """Run one capture through the full sender pipeline.
+
+        Returns None when the encode fails (injected via ``fail_encode``
+        or a genuine encoder exception): the capture is skipped rather
+        than crashing the session, and the next successful frame is
+        forced INTRA so both reference chains restart cleanly.
+        ``color_budget_scale`` trims the color stream's byte budget
+        (the degradation ladder's chroma-lite rung).
+        """
         total_points = frame.total_points()
         culled = frame
         if self.config.scheme.culling and self.predictor.ready:
@@ -122,22 +147,33 @@ class LiVoSender:
         ]
         tiled_depth = self.depth_tiler.compose(scaled_views, frame.sequence)
 
-        if self.config.scheme.adaptation:
-            budget_bytes = max(target_rate_bps / 8.0 * self.config.frame_interval_s, 2.0)
-            depth_budget, color_budget = self.split.allocate(budget_bytes)
-            color_frame, color_recon = self.color_encoder.encode_to_target(
-                tiled_color, color_budget, force_intra=force_intra
-            )
-            depth_frame, depth_recon = self.depth_encoder.encode_to_target(
-                tiled_depth, depth_budget, force_intra=force_intra
-            )
-        else:
-            color_frame, color_recon = self.color_encoder.encode(
-                tiled_color, self.config.scheme.fixed_color_qp, force_intra=force_intra
-            )
-            depth_frame, depth_recon = self.depth_encoder.encode(
-                tiled_depth, self.config.scheme.fixed_depth_qp, force_intra=force_intra
-            )
+        if fail_encode:
+            self._on_encode_failure()
+            return None
+        force_intra = force_intra or self._recover_with_intra
+        try:
+            if self.config.scheme.adaptation:
+                budget_bytes = max(target_rate_bps / 8.0 * self.config.frame_interval_s, 2.0)
+                depth_budget, color_budget = self.split.allocate(budget_bytes)
+                if color_budget_scale < 1.0:
+                    color_budget = max(color_budget * color_budget_scale, 1.0)
+                color_frame, color_recon = self.color_encoder.encode_to_target(
+                    tiled_color, color_budget, force_intra=force_intra
+                )
+                depth_frame, depth_recon = self.depth_encoder.encode_to_target(
+                    tiled_depth, depth_budget, force_intra=force_intra
+                )
+            else:
+                color_frame, color_recon = self.color_encoder.encode(
+                    tiled_color, self.config.scheme.fixed_color_qp, force_intra=force_intra
+                )
+                depth_frame, depth_recon = self.depth_encoder.encode(
+                    tiled_depth, self.config.scheme.fixed_depth_qp, force_intra=force_intra
+                )
+        except Exception:
+            self._on_encode_failure()
+            return None
+        self._recover_with_intra = False
 
         color_error: float | None = None
         depth_error: float | None = None

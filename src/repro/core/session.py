@@ -15,6 +15,8 @@ scale-invariant; reports also expose paper-equivalent absolute numbers.
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 from repro.capture.dataset import VideoSpec
@@ -27,7 +29,10 @@ from repro.compression.oracle import DracoOracle, OracleProfile
 from repro.core.config import PAPER_FRAME_SIZE_BYTES, SessionConfig
 from repro.core.receiver import LiVoReceiver
 from repro.core.sender import LiVoSender
-from repro.core.stats import FrameRecord, SessionReport
+from repro.core.stats import FaultEvent, FrameRecord, SessionReport
+from repro.faults.degradation import StallWatchdog, level_name
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.geometry.camera import RGBDCamera
 from repro.geometry.frustum import Frustum
 from repro.geometry.pointcloud import PointCloud
@@ -107,7 +112,23 @@ class _SessionBase:
 
 class LiVoSession(_SessionBase):
     """LiVo / LiVo-NoCull / LiVo-NoAdapt replay (the scheme comes from
-    ``config.scheme``)."""
+    ``config.scheme``).
+
+    The replay interleaves the sender and receiver on one simulated
+    clock: every capture tick first resolves the oldest in-flight
+    frames (decode + render-deadline accounting), then feeds the stall
+    watchdog, then captures/encodes/sends.  Interleaving is what lets
+    the receiver's observed outcomes steer the sender mid-session --
+    the degradation ladder -- and is behavior-identical to the older
+    three-phase replay when no faults fire and the ladder stays at
+    level 0.
+
+    ``fault_plan`` injects deterministic faults (camera dropouts, link
+    outages, burst loss, encoder failures, corrupt bitstreams); see
+    :mod:`repro.faults`.  ``config.resilience`` controls how much of
+    the hardening -- fused partial rigs, skip-not-crash encodes,
+    frame-freeze fallback, the watchdog ladder -- is active.
+    """
 
     def run(
         self,
@@ -117,20 +138,31 @@ class LiVoSession(_SessionBase):
         num_frames: int,
         video_name: str = "video",
         scheme_name: str | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> SessionReport:
         """Replay ``num_frames`` captures through the full pipeline."""
         if num_frames <= 0:
             raise ValueError("num_frames must be positive")
         config = self.config
+        resilience = config.resilience
+        hardened = resilience.enabled
+        injector = FaultInjector(fault_plan) if fault_plan is not None else None
+        watchdog = (
+            StallWatchdog(resilience)
+            if resilience.enabled and resilience.ladder_enabled
+            else None
+        )
         rig = self._make_rig()
         sender = LiVoSender(rig.cameras, config, self.device)
         receiver = LiVoReceiver(rig.cameras, config)
 
-        captures: list[MultiViewFrame] = []
         first = rig.capture(scene, 0)
-        captures.append(first)
         scaled_trace, scale = self._scaled_trace(bandwidth_trace, first)
-        link = EmulatedLink(scaled_trace, config.link)
+        link = EmulatedLink(
+            scaled_trace,
+            config.link,
+            fault_hook=injector.link_drop if injector is not None else None,
+        )
         mean_capacity_bps = scaled_trace.stats().mean * 1e6
         # Start GCC conservatively relative to the (scaled) link, as a
         # real session starts below capacity and probes upward.
@@ -151,92 +183,287 @@ class LiVoSession(_SessionBase):
             else:
                 scheme_name = "LiVo-NoAdapt"
 
-        # ------------------------------------------------------------
-        # Phase 1: sender loop (capture -> cull -> encode -> send).
-        # ------------------------------------------------------------
-        encoded: dict[int, tuple] = {}
-        sender_results = {}
+        interval = config.frame_interval_s
         lag = config.pose_feedback_lag_frames
-        horizon_s = lag * config.frame_interval_s
+        horizon_s = lag * interval
+        duration = num_frames * interval
+
+        captures: dict[int, MultiViewFrame] = {}
+        encoded: dict[int, tuple] = {}
+        records: dict[int, FrameRecord] = {}
+        pair_arrivals: dict[int, dict[int, float]] = {}
+        pending: deque[int] = deque()
+        events: list[FaultEvent] = []
+        quality_counter = 0
+        rx_request_intra = False  # PLI-style request after a poisoned pair
+        active_camera_modes: dict[int, str] = {}
+        outage_active = False
+        burst_active = False
+
+        def ingest(deliveries) -> None:
+            for delivery in deliveries:
+                pair_arrivals.setdefault(delivery.frame_sequence, {})[
+                    delivery.stream_id
+                ] = delivery.completion_time_s
+
+        def observe_deadline(on_time: bool, now: float) -> None:
+            """Feed the watchdog; record ladder transitions as events."""
+            if watchdog is None:
+                return
+            new_level = watchdog.observe(on_time)
+            if new_level is None:
+                return
+            recovered = on_time
+            events.append(
+                FaultEvent(
+                    time_s=now,
+                    category="recover_step" if recovered else "degrade_step",
+                    detail=f"ladder -> {level_name(new_level)}",
+                    recovered=recovered,
+                )
+            )
+
+        def sample_quality(record: FrameRecord, pair, now_sequence: int) -> None:
+            """PointSSIM every Nth rendered frame (paper's cadence)."""
+            nonlocal quality_counter
+            quality_counter += 1
+            if (quality_counter - 1) % config.quality_every != 0:
+                return
+            actual = self.device.frustum_for(user_trace.pose_at_frame(now_sequence))
+            voxel_m = None
+            if watchdog is not None and watchdog.voxel_scale() > 1.0:
+                voxel_m = config.render_voxel_m * watchdog.voxel_scale()
+            shown = receiver.render_view(receiver.reconstruct(pair), actual, voxel_m)
+            truth = ground_truth_cloud(
+                captures[now_sequence], rig.cameras, actual, config.render_voxel_m
+            )
+            if not truth.is_empty:
+                score = pointssim(truth, shown)
+                record.pssim_geometry = score.geometry
+                record.pssim_color = score.color
+
+        def resolve_head(now: float, final: bool) -> bool:
+            """Resolve the oldest in-flight frame if its fate is known.
+
+            A frame resolves when its pair is fully delivered (decode +
+            deadline check), when either stream was abandoned by the
+            channel (freeze fallback), or unconditionally during the
+            final drain.  Resolution strictly follows sequence order so
+            the decoder reference chains advance exactly as a live
+            receiver's would.
+            """
+            nonlocal rx_request_intra
+            sequence = pending[0]
+            record = records[sequence]
+            arrivals = pair_arrivals.get(sequence, {})
+            complete = 0 in arrivals and 1 in arrivals
+            abandoned = channel.frame_abandoned(0, sequence) or channel.frame_abandoned(
+                1, sequence
+            )
+            if complete:
+                pair_time = max(arrivals.values())
+                deadline = record.capture_time_s + config.playout_delay_s
+                playout_time = pair_time + config.jitter_target_s
+                color_frame, depth_frame = encoded[sequence]
+                if injector is not None and injector.corrupts_pair(sequence):
+                    color_frame = injector.corrupt_frame(color_frame)
+                    events.append(
+                        FaultEvent(
+                            time_s=now,
+                            category="corrupt_frame",
+                            detail="injected bitstream corruption",
+                            sequence=sequence,
+                        )
+                    )
+                if hardened:
+                    pair = receiver.decode_pair_safe(color_frame, depth_frame)
+                else:
+                    pair = (
+                        receiver.decode_pair(color_frame, depth_frame)
+                        if receiver.can_decode(color_frame, depth_frame)
+                        else None
+                    )
+                if pair is not None:
+                    record.delivery_time_s = pair_time
+                    if playout_time <= deadline + 1e-9:
+                        record.rendered = True
+                        record.stalled = False
+                        sample_quality(record, pair, sequence)
+                        observe_deadline(True, now)
+                    else:
+                        observe_deadline(False, now)
+                else:
+                    # Undecodable pair: freeze the last good frame and
+                    # ask the sender for a keyframe (PLI semantics).
+                    if hardened:
+                        rx_request_intra = True
+                        if receiver.freeze_frame() is not None:
+                            record.frozen = True
+                            events.append(
+                                FaultEvent(
+                                    time_s=now,
+                                    category="frame_freeze",
+                                    detail="undecodable pair; showing last good frame",
+                                    sequence=sequence,
+                                )
+                            )
+                    observe_deadline(False, now)
+            elif abandoned or final:
+                if abandoned:
+                    events.append(
+                        FaultEvent(
+                            time_s=now,
+                            category="frame_abandoned",
+                            detail="retransmissions exhausted; PLI raised",
+                            sequence=sequence,
+                        )
+                    )
+                if hardened and receiver.freeze_frame() is not None:
+                    record.frozen = True
+                observe_deadline(False, now)
+            else:
+                return False
+            pending.popleft()
+            return True
+
+        # --------------------------------------------------------------
+        # Interleaved replay: resolve receives, then capture and send.
+        # --------------------------------------------------------------
         for sequence in range(num_frames):
-            now = sequence * config.frame_interval_s
-            channel.process_until(now)
+            now = sequence * interval
+            ingest(channel.poll_deliveries(now))
+            while pending and resolve_head(now, final=False):
+                pass
             if sequence >= lag:
                 sender.observe_pose(
                     user_trace.pose_at_frame(sequence - lag),
-                    (sequence - lag) * config.frame_interval_s,
+                    (sequence - lag) * interval,
                 )
-            frame = captures[sequence] if sequence < len(captures) else rig.capture(scene, sequence)
-            if sequence >= len(captures):
-                captures.append(frame)
-            force_intra = channel.needs_keyframe(0) or channel.needs_keyframe(1)
-            result = sender.process(
-                frame, channel.target_rate_bps(), horizon_s, force_intra=force_intra
+            if injector is not None:
+                outage_now = injector.link_outage_active(now)
+                if outage_now != outage_active:
+                    events.append(
+                        FaultEvent(
+                            time_s=now,
+                            category="link_outage" if outage_now else "link_outage_end",
+                            detail="link outage window",
+                            recovered=not outage_now,
+                        )
+                    )
+                    outage_active = outage_now
+                burst_now = injector.burst_loss_active(now)
+                if burst_now != burst_active:
+                    events.append(
+                        FaultEvent(
+                            time_s=now,
+                            category="burst_loss" if burst_now else "burst_loss_end",
+                            detail="Gilbert-Elliott burst-loss window",
+                            recovered=not burst_now,
+                        )
+                    )
+                    burst_active = burst_now
+            level = watchdog.level if watchdog is not None else 0
+            if watchdog is not None and watchdog.skips_tick(sequence):
+                records[sequence] = FrameRecord(
+                    sequence=sequence,
+                    capture_time_s=now,
+                    rendered=False,
+                    stalled=False,
+                    skipped=True,
+                    degradation_level=level,
+                )
+                continue
+            frame = first if sequence == 0 else rig.capture(scene, sequence)
+            if injector is not None:
+                frame, modes = injector.apply_camera_faults(frame, now)
+                for camera_id, mode in modes.items():
+                    if active_camera_modes.get(camera_id) != mode:
+                        events.append(
+                            FaultEvent(
+                                time_s=now,
+                                category=f"camera_{mode}",
+                                detail=f"camera {camera_id} {mode} window",
+                                sequence=sequence,
+                            )
+                        )
+                for camera_id in active_camera_modes:
+                    if camera_id not in modes:
+                        events.append(
+                            FaultEvent(
+                                time_s=now,
+                                category="camera_recovered",
+                                detail=f"camera {camera_id} healthy again",
+                                sequence=sequence,
+                                recovered=True,
+                            )
+                        )
+                active_camera_modes = modes
+            captures[sequence] = frame
+            force_intra = (
+                channel.needs_keyframe(0) or channel.needs_keyframe(1) or rx_request_intra
             )
-            sender_results[sequence] = result
+            result = sender.process(
+                frame,
+                channel.target_rate_bps(),
+                horizon_s,
+                force_intra=force_intra,
+                fail_encode=injector.encode_fails(sequence) if injector is not None else False,
+                color_budget_scale=(
+                    watchdog.color_budget_scale() if watchdog is not None else 1.0
+                ),
+            )
+            if result is None:
+                records[sequence] = FrameRecord(
+                    sequence=sequence,
+                    capture_time_s=now,
+                    rendered=False,
+                    stalled=True,
+                    encode_failed=True,
+                    degradation_level=level,
+                )
+                events.append(
+                    FaultEvent(
+                        time_s=now,
+                        category="encode_failure",
+                        detail="encode failed; capture skipped, next frame INTRA",
+                        sequence=sequence,
+                    )
+                )
+                observe_deadline(False, now)
+                continue
+            if force_intra:
+                rx_request_intra = False
             encoded[sequence] = (result.color_frame, result.depth_frame)
-            channel.send_frame(0, sequence, result.color_frame.size_bytes, now)
-            channel.send_frame(1, sequence, result.depth_frame.size_bytes, now)
-
-        # ------------------------------------------------------------
-        # Phase 2: drain the network, pair deliveries per frame.
-        # ------------------------------------------------------------
-        duration = num_frames * config.frame_interval_s
-        deliveries = channel.poll_deliveries(duration + 5.0)
-        pair_arrivals: dict[int, dict[int, float]] = {}
-        for delivery in deliveries:
-            pair_arrivals.setdefault(delivery.frame_sequence, {})[
-                delivery.stream_id
-            ] = delivery.completion_time_s
-
-        # ------------------------------------------------------------
-        # Phase 3: receiver loop (decode chain + render deadlines).
-        # ------------------------------------------------------------
-        records = []
-        quality_counter = 0
-        for sequence in range(num_frames):
-            capture_time = sequence * config.frame_interval_s
-            result = sender_results[sequence]
-            arrivals = pair_arrivals.get(sequence, {})
-            delivered = 0 in arrivals and 1 in arrivals
-            record = FrameRecord(
+            records[sequence] = FrameRecord(
                 sequence=sequence,
-                capture_time_s=capture_time,
+                capture_time_s=now,
                 rendered=False,
                 stalled=True,
                 wire_bytes=result.total_bytes,
                 split=result.split,
                 culled_points=result.culled_points,
                 total_points=result.total_points,
+                degradation_level=level,
             )
-            if delivered:
-                pair_time = max(arrivals.values())
-                deadline = capture_time + config.playout_delay_s
-                playout_time = pair_time + config.jitter_target_s
-                color_frame, depth_frame = encoded[sequence]
-                if receiver.can_decode(color_frame, depth_frame):
-                    pair = receiver.decode_pair(color_frame, depth_frame)
-                    record.delivery_time_s = pair_time
-                    if playout_time <= deadline + 1e-9:
-                        record.rendered = True
-                        record.stalled = False
-                        quality_counter += 1
-                        if (quality_counter - 1) % config.quality_every == 0:
-                            actual = self.device.frustum_for(
-                                user_trace.pose_at_frame(sequence)
-                            )
-                            shown = receiver.render_view(
-                                receiver.reconstruct(pair), actual
-                            )
-                            truth = ground_truth_cloud(
-                                captures[sequence], rig.cameras, actual,
-                                config.render_voxel_m,
-                            )
-                            if not truth.is_empty:
-                                score = pointssim(truth, shown)
-                                record.pssim_geometry = score.geometry
-                                record.pssim_color = score.color
-            records.append(record)
+            channel.send_frame(0, sequence, result.color_frame.size_bytes, now)
+            channel.send_frame(1, sequence, result.depth_frame.size_bytes, now)
+            pending.append(sequence)
+
+        # Final drain: resolve every frame still in flight.
+        ingest(channel.poll_deliveries(duration + 5.0))
+        while pending:
+            resolve_head(duration + 5.0, final=True)
+
+        for stream_id, marker_sequence in channel.marker_frames:
+            events.append(
+                FaultEvent(
+                    time_s=marker_sequence * interval,
+                    category="zero_byte_frame",
+                    detail=f"stream {stream_id} frame culled to zero bytes; marker sent",
+                    sequence=marker_sequence,
+                )
+            )
+        events.sort(key=lambda event: event.time_s)
 
         return SessionReport(
             scheme=scheme_name,
@@ -245,9 +472,10 @@ class LiVoSession(_SessionBase):
             network_trace=bandwidth_trace.name,
             fps_target=config.fps,
             duration_s=duration,
-            frames=records,
+            frames=[records[sequence] for sequence in range(num_frames)],
             mean_capacity_mbps=scaled_trace.stats().mean,
             trace_scale=scale,
+            fault_events=events,
         )
 
 

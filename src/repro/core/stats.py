@@ -6,7 +6,27 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["FrameRecord", "SessionReport"]
+__all__ = ["FaultEvent", "FrameRecord", "SessionReport"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One structured fault or recovery observation during a session.
+
+    ``category`` is a stable machine-readable tag (``camera_dropout``,
+    ``link_outage``, ``burst_loss``, ``encode_failure``,
+    ``corrupt_frame``, ``frame_freeze``, ``frame_abandoned``,
+    ``zero_byte_frame``, ``degrade_step``, ``recover_step``, with
+    ``*_end`` variants for window edges); ``detail`` is human-readable.
+    ``recovered`` marks events that represent the system healing rather
+    than a new fault.
+    """
+
+    time_s: float
+    category: str
+    detail: str = ""
+    sequence: int | None = None
+    recovered: bool = False
 
 
 @dataclass
@@ -24,6 +44,12 @@ class FrameRecord:
     delivery_time_s: float | None = None
     pssim_geometry: float | None = None
     pssim_color: float | None = None
+    # Resilience bookkeeping (all default-off so pre-fault callers and
+    # serialized records are unaffected).
+    degradation_level: int = 0
+    skipped: bool = False    # ladder fps reduction skipped the tick
+    frozen: bool = False     # frame-freeze fallback shown instead
+    encode_failed: bool = False
 
 
 @dataclass
@@ -39,6 +65,7 @@ class SessionReport:
     frames: list[FrameRecord] = field(default_factory=list)
     mean_capacity_mbps: float = 0.0
     trace_scale: float = 1.0
+    fault_events: list[FaultEvent] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Stalls and frame rate
@@ -155,6 +182,64 @@ class SessionReport:
             float(np.percentile(latencies, 50)),
             float(np.percentile(latencies, 95)),
         )
+
+    # ------------------------------------------------------------------
+    # Resilience (chaos suite)
+    # ------------------------------------------------------------------
+
+    @property
+    def skipped_frames(self) -> int:
+        """Ticks the degradation ladder's fps reduction skipped."""
+        return sum(1 for f in self.frames if f.skipped)
+
+    @property
+    def frozen_frames(self) -> int:
+        """Frames shown via the last-good frame-freeze fallback."""
+        return sum(1 for f in self.frames if f.frozen)
+
+    @property
+    def degraded_renders(self) -> int:
+        """Frames rendered while the ladder was below full quality."""
+        return sum(1 for f in self.frames if f.rendered and f.degradation_level > 0)
+
+    @property
+    def frames_survived_degraded(self) -> int:
+        """Frames the resilience machinery salvaged: degraded renders
+        plus frame-freezes (content on screen instead of a stall/crash)."""
+        return self.degraded_renders + self.frozen_frames
+
+    def fault_counts(self) -> dict[str, int]:
+        """Events per category (fault taxonomy histogram)."""
+        counts: dict[str, int] = {}
+        for event in self.fault_events:
+            counts[event.category] = counts.get(event.category, 0) + 1
+        return counts
+
+    def degradation_episodes(self) -> list[tuple[float, float | None]]:
+        """(start_s, end_s) of each ladder excursion below full quality.
+
+        ``end_s`` is None for an episode still open at session end.
+        """
+        episodes: list[tuple[float, float | None]] = []
+        start: float | None = None
+        for frame in self.frames:
+            if frame.degradation_level > 0 and start is None:
+                start = frame.capture_time_s
+            elif frame.degradation_level == 0 and start is not None:
+                episodes.append((start, frame.capture_time_s))
+                start = None
+        if start is not None:
+            episodes.append((start, None))
+        return episodes
+
+    @property
+    def mttr_s(self) -> float:
+        """Mean time to recovery: average length of *completed*
+        degradation episodes (entered and left the ladder)."""
+        durations = [
+            end - start for start, end in self.degradation_episodes() if end is not None
+        ]
+        return float(np.mean(durations)) if durations else 0.0
 
     @property
     def mean_split(self) -> float:

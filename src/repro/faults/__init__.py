@@ -1,0 +1,52 @@
+"""Deterministic fault injection for LiVo replay sessions.
+
+The paper's evaluation replays smooth bandwidth traces; production
+sessions face camera dropouts, link outages, bursty loss, encoder
+crashes, and corrupted bitstreams.  This package models that fault
+taxonomy as data (:class:`FaultPlan`), executes it deterministically
+(:class:`FaultInjector`), and provides the graceful-degradation
+machinery the hardened session uses to survive it
+(:class:`ResilienceConfig`, :class:`StallWatchdog`).
+
+Everything is seeded: an identical plan produces byte-identical
+session reports across runs, so chaos experiments are replayable.
+"""
+
+from repro.faults.degradation import (
+    LEVEL_CHROMA_LITE,
+    LEVEL_COARSE_VOXEL,
+    LEVEL_HALF_FPS,
+    LEVEL_NORMAL,
+    ResilienceConfig,
+    StallWatchdog,
+    level_name,
+)
+from repro.faults.injector import FaultInjector, GilbertElliott
+from repro.faults.plan import (
+    BurstLossWindow,
+    CameraFault,
+    EncoderFault,
+    FaultPlan,
+    FrameCorruption,
+    LinkOutage,
+    chaos_plan,
+)
+
+__all__ = [
+    "BurstLossWindow",
+    "CameraFault",
+    "EncoderFault",
+    "FaultInjector",
+    "FaultPlan",
+    "FrameCorruption",
+    "GilbertElliott",
+    "LinkOutage",
+    "ResilienceConfig",
+    "StallWatchdog",
+    "chaos_plan",
+    "level_name",
+    "LEVEL_NORMAL",
+    "LEVEL_HALF_FPS",
+    "LEVEL_COARSE_VOXEL",
+    "LEVEL_CHROMA_LITE",
+]

@@ -1,0 +1,142 @@
+"""Graceful degradation: the stall watchdog and its quality ladder.
+
+When the network or the pipeline misbehaves faster than GCC can react,
+the hardened session steps down a degradation ladder instead of
+stalling indefinitely:
+
+- level 1 (**half fps**): every other capture tick is skipped, halving
+  the offered load and giving the bottleneck queue room to drain;
+- level 2 (**coarse voxel**): the receiver renders at a coarser voxel
+  size, trading density for latency headroom;
+- level 3 (**chroma lite**): the color stream's byte budget is cut,
+  shifting the remaining bits toward geometry (depth carries the
+  immersive experience; section 3.3's split already encodes that
+  priority).
+
+The :class:`StallWatchdog` drives transitions: ``watchdog_misses``
+consecutive missed render deadlines step one level down, and
+``recover_hysteresis`` consecutive on-time frames step one level back
+up.  The asymmetry (fast down, slow up) is classic hysteresis -- it
+prevents oscillating between levels while conditions are marginal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "LEVEL_NORMAL",
+    "LEVEL_HALF_FPS",
+    "LEVEL_COARSE_VOXEL",
+    "LEVEL_CHROMA_LITE",
+    "ResilienceConfig",
+    "StallWatchdog",
+    "level_name",
+]
+
+LEVEL_NORMAL = 0
+LEVEL_HALF_FPS = 1
+LEVEL_COARSE_VOXEL = 2
+LEVEL_CHROMA_LITE = 3
+
+_LEVEL_NAMES = {
+    LEVEL_NORMAL: "normal",
+    LEVEL_HALF_FPS: "half-fps",
+    LEVEL_COARSE_VOXEL: "coarse-voxel",
+    LEVEL_CHROMA_LITE: "chroma-lite",
+}
+
+
+def level_name(level: int) -> str:
+    """Human-readable name of a ladder level."""
+    return _LEVEL_NAMES.get(level, f"level-{level}")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs for the hardened session's fault handling.
+
+    ``enabled`` governs the always-safe hardening (skip failed encodes,
+    frame-freeze on undecodable pairs, fused partial rigs); disabling
+    it reproduces the brittle seed behavior for A/B comparison.
+    ``ladder_enabled`` separately gates the stall watchdog and its
+    degradation ladder, which trades quality for liveness.
+    """
+
+    enabled: bool = True
+    ladder_enabled: bool = True
+    watchdog_misses: int = 4
+    recover_hysteresis: int = 8
+    max_level: int = LEVEL_CHROMA_LITE
+    fps_divisor: int = 2
+    voxel_coarsen: float = 2.0
+    chroma_budget_scale: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.watchdog_misses < 1:
+            raise ValueError("watchdog_misses must be at least 1")
+        if self.recover_hysteresis < 1:
+            raise ValueError("recover_hysteresis must be at least 1")
+        if not LEVEL_NORMAL <= self.max_level <= LEVEL_CHROMA_LITE:
+            raise ValueError("max_level must be within the ladder")
+        if self.fps_divisor < 2:
+            raise ValueError("fps_divisor must be at least 2")
+        if self.voxel_coarsen < 1.0:
+            raise ValueError("voxel_coarsen must be >= 1")
+        if not 0.0 < self.chroma_budget_scale <= 1.0:
+            raise ValueError("chroma_budget_scale must be in (0, 1]")
+
+
+class StallWatchdog:
+    """Counts deadline outcomes and walks the degradation ladder."""
+
+    def __init__(self, config: ResilienceConfig) -> None:
+        self.config = config
+        self.level = LEVEL_NORMAL
+        self._misses = 0
+        self._goods = 0
+        self.steps_down = 0
+        self.steps_up = 0
+
+    def skips_tick(self, sequence: int) -> bool:
+        """Whether the ladder's fps reduction skips this capture tick."""
+        return (
+            self.level >= LEVEL_HALF_FPS
+            and sequence % self.config.fps_divisor != 0
+        )
+
+    def voxel_scale(self) -> float:
+        """Render-voxel multiplier at the current level."""
+        return self.config.voxel_coarsen if self.level >= LEVEL_COARSE_VOXEL else 1.0
+
+    def color_budget_scale(self) -> float:
+        """Color-stream byte-budget multiplier at the current level."""
+        return (
+            self.config.chroma_budget_scale
+            if self.level >= LEVEL_CHROMA_LITE
+            else 1.0
+        )
+
+    def observe(self, on_time: bool) -> int | None:
+        """Fold in one render-deadline outcome.
+
+        Returns the new level when this observation caused a
+        transition, else None.
+        """
+        if on_time:
+            self._misses = 0
+            self._goods += 1
+            if self.level > LEVEL_NORMAL and self._goods >= self.config.recover_hysteresis:
+                self._goods = 0
+                self.level -= 1
+                self.steps_up += 1
+                return self.level
+            return None
+        self._goods = 0
+        self._misses += 1
+        if self.level < self.config.max_level and self._misses >= self.config.watchdog_misses:
+            self._misses = 0
+            self.level += 1
+            self.steps_down += 1
+            return self.level
+        return None

@@ -28,7 +28,7 @@ from repro.transport.fec import FECGroupTracker, parity_packet_for
 from repro.transport.gcc import GCCConfig, GoogleCongestionControl
 from repro.transport.link import EmulatedLink
 from repro.transport.packet import DEFAULT_MTU, Packet
-from repro.transport.rtp import FrameAssembler, packetize
+from repro.transport.rtp import RTP_HEADER_BYTES, FrameAssembler, packetize
 
 __all__ = ["WebRTCConfig", "FrameDelivery", "WebRTCChannel"]
 
@@ -86,6 +86,8 @@ class WebRTCChannel:
         self._srtt: float | None = None
         self._loss_events: deque[tuple[float, bool]] = deque()
         self.frames_lost: list[tuple[int, int]] = []
+        self._abandoned: set[tuple[int, int]] = set()
+        self.marker_frames: list[tuple[int, int]] = []
         self.bytes_sent_per_stream = [0] * num_streams
         self._clock = 0.0
         # FEC state (only touched when fec_group_size is set).
@@ -99,9 +101,18 @@ class WebRTCChannel:
     # ------------------------------------------------------------------
 
     def send_frame(self, stream_id: int, frame_sequence: int, size_bytes: int, now: float) -> None:
-        """Offer one encoded frame for transmission at time ``now``."""
-        if size_bytes <= 0:
-            raise ValueError("size_bytes must be positive")
+        """Offer one encoded frame for transmission at time ``now``.
+
+        A zero-byte frame is legitimate -- an aggressively culled view
+        can encode to (effectively) nothing -- and is carried as a
+        single header-only marker packet so the receiver still observes
+        the frame boundary instead of the sender crashing.
+        """
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        if size_bytes == 0:
+            self._send_marker_frame(stream_id, frame_sequence, now)
+            return
         packets = packetize(
             stream_id,
             frame_sequence,
@@ -117,6 +128,23 @@ class WebRTCChannel:
             self._schedule(now, "offer", (packet, self.config.nack_retries))
         if self.config.fec_group_size:
             self._send_fec_parity(stream_id, packets, now)
+
+    def _send_marker_frame(self, stream_id: int, frame_sequence: int, now: float) -> None:
+        """Send a header-only marker for an empty frame (recorded)."""
+        marker = Packet(
+            sequence=self._packet_sequence,
+            stream_id=stream_id,
+            frame_sequence=frame_sequence,
+            fragment=0,
+            num_fragments=1,
+            size_bytes=RTP_HEADER_BYTES,
+            send_time_s=now,
+        )
+        self._packet_sequence += 1
+        self._frame_send_times[(stream_id, frame_sequence)] = now
+        self.bytes_sent_per_stream[stream_id] += marker.size_bytes
+        self.marker_frames.append((stream_id, frame_sequence))
+        self._schedule(now, "offer", (marker, self.config.nack_retries))
 
     def _send_fec_parity(self, stream_id: int, packets: list[Packet], now: float) -> None:
         """Group a frame's packets and append XOR parity packets."""
@@ -161,6 +189,10 @@ class WebRTCChannel:
     # Receiver API
     # ------------------------------------------------------------------
 
+    def frame_abandoned(self, stream_id: int, frame_sequence: int) -> bool:
+        """Whether a frame's retransmissions were exhausted (PLI path)."""
+        return (stream_id, frame_sequence) in self._abandoned
+
     def poll_deliveries(self, now: float) -> list[FrameDelivery]:
         """Advance the clock and return frames completed by ``now``."""
         self.process_until(now)
@@ -191,20 +223,19 @@ class WebRTCChannel:
         packet.send_time_s = time_s
         is_parity = packet.fragment < 0
         arrival = self.link.send(packet)
-        if arrival is None:
+        delivered = arrival is not None
+        self._fec_account(
+            packet, delivered=delivered, event_time=arrival if delivered else time_s
+        )
+        if not delivered:
             self._record_loss_event(time_s, delivered=False)
             if is_parity:
-                self._fec_account(packet, delivered=False, event_time=time_s)
                 return  # parity is best-effort; never NACKed
-            self._fec_account(packet, delivered=False, event_time=time_s)
             detection = time_s + self.link.config.propagation_delay_s + self.config.loss_detection_grace_s
             nack_arrival = detection + self.config.reverse_delay_s
             self._schedule(nack_arrival, "nack", (packet, retries_left))
             return
-        if is_parity:
-            self._fec_account(packet, delivered=True, event_time=arrival)
-        else:
-            self._fec_account(packet, delivered=True, event_time=arrival)
+        if not is_parity:
             self._deliver_media(packet, arrival)
         self._schedule(arrival + self.config.reverse_delay_s, "feedback", packet)
 
@@ -249,9 +280,15 @@ class WebRTCChannel:
     def _handle_nack(self, time_s: float, packet: Packet, retries_left: int) -> None:
         if packet.sequence in self._fec_repaired:
             return  # FEC already repaired this loss; no retransmission
+        key = (packet.stream_id, packet.frame_sequence)
+        if key in self._abandoned:
+            # The frame was already given up on (PLI raised); spending
+            # link capacity retransmitting its other fragments is waste.
+            return
         self.gcc.on_loss_report(self._loss_fraction(time_s))
         if retries_left <= 0:
-            self.frames_lost.append((packet.stream_id, packet.frame_sequence))
+            self.frames_lost.append(key)
+            self._abandoned.add(key)
             self._assemblers[packet.stream_id].drop_frame(packet.frame_sequence)
             self._needs_keyframe[packet.stream_id] = True
             return

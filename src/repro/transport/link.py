@@ -15,6 +15,7 @@ and piecewise-constant capacity.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
@@ -68,13 +69,24 @@ class LinkConfig:
 class EmulatedLink:
     """One-direction bottleneck link driven by a bandwidth trace."""
 
-    def __init__(self, trace: BandwidthTrace, config: LinkConfig | None = None) -> None:
+    def __init__(
+        self,
+        trace: BandwidthTrace,
+        config: LinkConfig | None = None,
+        fault_hook: Callable[[Packet], bool] | None = None,
+    ) -> None:
         self.trace = trace
         self.config = config or LinkConfig()
+        # Injected loss model (outages, burst loss): called per offered
+        # packet, returns True to swallow it.  Deterministic hooks keep
+        # the link itself deterministic -- the hook never touches the
+        # link's own RNG stream.
+        self.fault_hook = fault_hook
         self._rng = np.random.default_rng(self.config.seed)
         self._queue_free_at = 0.0  # when the bottleneck finishes its backlog
         self.packets_sent = 0
         self.packets_dropped = 0
+        self.fault_drops = 0
         self.bytes_delivered = 0
         # Receive-socket-buffer model (appendix A.1).
         self._socket_fill_bytes = 0.0
@@ -114,6 +126,13 @@ class EmulatedLink:
         queue_delay = start - now
         if queue_delay > self.config.max_queue_delay_s:
             self.packets_dropped += 1
+            return None
+        if self.fault_hook is not None and self.fault_hook(packet):
+            # Fault-injected loss (outage, burst): like random loss, the
+            # packet occupies the bottleneck and dies downstream.
+            self._queue_free_at = self._service_finish_time(start, packet.size_bytes)
+            self.packets_dropped += 1
+            self.fault_drops += 1
             return None
         if self.config.loss_rate > 0 and self._rng.random() < self.config.loss_rate:
             # Random loss still occupies the bottleneck (the packet is

@@ -1,0 +1,137 @@
+"""Channel recovery paths: NACK exhaustion -> PLI, FEC repair
+suppressing retransmission, and assembler bookkeeping after drops."""
+
+from repro.transport.channel import WebRTCChannel, WebRTCConfig
+from repro.transport.link import EmulatedLink
+from repro.transport.packet import Packet
+from repro.transport.rtp import RTP_HEADER_BYTES, FrameAssembler, packetize
+from repro.transport.traces import constant_trace
+
+
+def _channel(drop, **config_kwargs):
+    """Channel over a clean fast link with a scripted drop predicate.
+
+    ``drop(packet)`` decides each packet's fate; every packet offered to
+    the link is also recorded in ``seen`` for assertions.
+    """
+    seen: list[Packet] = []
+
+    def hook(packet: Packet) -> bool:
+        seen.append(packet)
+        return drop(packet)
+
+    link = EmulatedLink(constant_trace(100.0), fault_hook=hook)
+    channel = WebRTCChannel(link, config=WebRTCConfig(**config_kwargs))
+    return channel, seen
+
+
+class TestNackExhaustion:
+    def test_abandoned_frame_raises_pli_and_drops_state(self):
+        """Burst loss kills every copy -> frame abandoned, PLI raised,
+        assembler state discarded; the next frame then flows normally."""
+        channel, seen = _channel(lambda p: p.frame_sequence == 0)
+        channel.send_frame(0, 0, 3000, 0.0)
+        channel.process_until(3.0)
+        assert channel.frame_abandoned(0, 0)
+        assert (0, 0) in channel.frames_lost
+        assert channel.needs_keyframe(0)       # PLI pending...
+        assert not channel.needs_keyframe(0)   # ...consumed on read
+        assembler = channel._assemblers[0]
+        assert assembler.missing_fragments(0) == []  # state dropped
+        assert not assembler.frame_complete(0)
+        # Recovery: the next (keyframe) frame is unaffected.
+        channel.send_frame(0, 1, 3000, 3.0)
+        deliveries = channel.poll_deliveries(6.0)
+        assert [d.frame_sequence for d in deliveries] == [1]
+        assert not channel.frame_abandoned(0, 1)
+
+    def test_no_retransmits_for_abandoned_frames(self):
+        """Once one fragment exhausts its retries, the frame's other
+        pending NACKs must not schedule retransmissions (dead frame)."""
+        channel, seen = _channel(lambda p: p.frame_sequence == 0, nack_retries=0)
+        channel.send_frame(0, 0, 3000, 0.0)  # 3 fragments at default MTU
+        channel.process_until(3.0)
+        assert channel.frame_abandoned(0, 0)
+        assert channel.frames_lost == [(0, 0)]  # recorded once, not per fragment
+        assert all(not p.is_retransmit for p in seen)
+
+    def test_single_loss_recovers_via_nack(self):
+        dropped: set[int] = set()
+
+        def drop_once(packet: Packet) -> bool:
+            if packet.fragment == 1 and not packet.is_retransmit:
+                dropped.add(packet.sequence)
+                return True
+            return False
+
+        channel, seen = _channel(drop_once)
+        channel.send_frame(0, 0, 3000, 0.0)
+        deliveries = channel.poll_deliveries(3.0)
+        assert [d.frame_sequence for d in deliveries] == [0]
+        assert any(p.is_retransmit for p in seen)
+        assert not channel.frame_abandoned(0, 0)
+
+
+class TestFECRepair:
+    def test_parity_repairs_single_loss_without_retransmit(self):
+        """One lost media packet per FEC group is repaired locally by
+        the parity packet; the later NACK must not retransmit it."""
+        channel, seen = _channel(lambda p: p.sequence == 1, fec_group_size=4)
+        channel.send_frame(0, 0, 4000, 0.0)  # 4 media fragments + 1 parity
+        deliveries = channel.poll_deliveries(3.0)
+        assert [d.frame_sequence for d in deliveries] == [0]
+        assert 1 in channel._fec_repaired
+        assert all(not p.is_retransmit for p in seen)
+        assert not channel.frame_abandoned(0, 0)
+
+    def test_double_loss_falls_back_to_nack(self):
+        """Two losses in one group exceed XOR parity; NACK still saves
+        the frame."""
+        channel, seen = _channel(
+            lambda p: p.sequence in (1, 2) and not p.is_retransmit,
+            fec_group_size=4,
+        )
+        channel.send_frame(0, 0, 4000, 0.0)
+        deliveries = channel.poll_deliveries(3.0)
+        assert [d.frame_sequence for d in deliveries] == [0]
+        assert any(p.is_retransmit for p in seen)
+
+
+class TestAssemblerDropBookkeeping:
+    def test_drop_frame_forgets_partial_state(self):
+        assembler = FrameAssembler()
+        packets = packetize(0, 7, 3000, 0.0, first_packet_sequence=0)
+        assert len(packets) == 3
+        assert assembler.on_packet(packets[0], 0.01) is None
+        assert assembler.on_packet(packets[1], 0.02) is None
+        assert assembler.missing_fragments(7) == [2]
+        assembler.drop_frame(7)
+        assert assembler.missing_fragments(7) == []
+        assert not assembler.frame_complete(7)
+        assert assembler.completion_time(7) is None
+
+    def test_frame_completes_fresh_after_drop(self):
+        """A dropped frame can still complete if all fragments later
+        arrive (e.g. late retransmits): state rebuilds from scratch."""
+        assembler = FrameAssembler()
+        packets = packetize(0, 7, 3000, 0.0, first_packet_sequence=0)
+        assembler.on_packet(packets[0], 0.01)
+        assembler.drop_frame(7)
+        completed = None
+        for packet in packets:
+            completed = assembler.on_packet(packet, 0.05) or completed
+        assert completed == 7
+        assert assembler.frame_complete(7)
+
+    def test_zero_byte_marker_assembles(self):
+        marker = Packet(
+            sequence=0,
+            stream_id=0,
+            frame_sequence=3,
+            fragment=0,
+            num_fragments=1,
+            size_bytes=RTP_HEADER_BYTES,
+            send_time_s=0.0,
+        )
+        assembler = FrameAssembler()
+        assert assembler.on_packet(marker, 0.02) == 3

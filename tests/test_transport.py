@@ -273,7 +273,17 @@ class TestWebRTCChannel:
     def test_invalid_frame_size(self):
         channel = WebRTCChannel(EmulatedLink(constant_trace(10.0)))
         with pytest.raises(ValueError):
-            channel.send_frame(0, 0, 0, 0.0)
+            channel.send_frame(0, 0, -1, 0.0)
+
+    def test_zero_byte_frame_sends_marker(self):
+        """A fully-culled (zero-byte) frame becomes a marker packet, not
+        an exception, so the receiver still sees the sequence advance."""
+        channel = WebRTCChannel(EmulatedLink(constant_trace(10.0)))
+        channel.send_frame(0, 0, 0, 0.0)
+        assert channel.marker_frames == [(0, 0)]
+        deliveries = channel.poll_deliveries(5.0)
+        assert [d.frame_sequence for d in deliveries] == [0]
+        assert deliveries[0].stream_id == 0
 
 
 class TestReliableByteStream:
