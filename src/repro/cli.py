@@ -40,6 +40,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--frames", type=int, default=30)
     run.add_argument("--user", type=int, default=0, help="user trace index (0-2)")
     run.add_argument("--cameras", type=int, default=8)
+    run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker count for the stage-graph runtime (1 = serial, deterministic)",
+    )
+    run.add_argument(
+        "--executor", default="auto",
+        choices=["auto", "serial", "thread", "process"],
+        help="executor substrate (auto picks serial at --jobs 1, processes above)",
+    )
+    run.add_argument(
+        "--profile", action="store_true",
+        help="print the per-stage wall-clock timing breakdown after the run",
+    )
 
     export = sub.add_parser(
         "export", help="dump one capture's frames and point cloud to files"
@@ -106,6 +119,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = SessionConfig(
         num_cameras=args.cameras, camera_width=64, camera_height=48,
         scene_sample_budget=20_000, gop_size=15, scheme=flags,
+        jobs=args.jobs, executor=args.executor, profile=args.profile,
     )
     if args.scheme in ("LiVo", "LiVo-NoCull", "LiVo-NoAdapt"):
         report = LiVoSession(config).run(
@@ -121,6 +135,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             scene, user, bandwidth, args.frames, video_name=args.video
         )
     print(report.summary())
+    if args.profile:
+        print()
+        print(report.timing_table())
     return 0
 
 

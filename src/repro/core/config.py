@@ -79,6 +79,15 @@ class SessionConfig:
     # DESIGN.md "Fault model & degradation ladder").
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
+    # Runtime (stage-graph execution engine; see DESIGN.md section 8).
+    # ``jobs`` > 1 fans per-camera capture and quality work out across
+    # worker processes and hosts the two encoders in dedicated workers;
+    # ``executor`` picks the substrate (auto/serial/thread/process);
+    # ``profile`` keeps per-stage wall-clock timings on the report.
+    jobs: int = 1
+    executor: str = "auto"
+    profile: bool = False
+
     # Evaluation.
     quality_every: int = 3        # PointSSIM every Nth rendered frame
     trace_scale: float | None = None  # None = auto from raw frame size
@@ -100,6 +109,12 @@ class SessionConfig:
             raise ValueError("rmse_every_k must be at least 1")
         if self.fps <= 0:
             raise ValueError("fps must be positive")
+        if self.jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if self.executor not in ("auto", "serial", "thread", "process"):
+            raise ValueError(
+                "executor must be one of auto/serial/thread/process"
+            )
 
     @property
     def frame_interval_s(self) -> float:

@@ -102,6 +102,42 @@ class StagedPipeline:
         self.admission_buffer = admission_buffer
         self._seed = seed
 
+    @classmethod
+    def from_measured(
+        cls,
+        timings,
+        admission_buffer: int = 2,
+        seed: int = 0,
+        parallelism: dict[str, int] | None = None,
+    ) -> "StagedPipeline":
+        """Calibrate a pipeline model from measured stage timings.
+
+        ``timings`` is the runtime's per-stage map (name ->
+        :class:`~repro.runtime.stage.StageTiming`, or anything exposing
+        ``mean_s``/``p95_s``).  Each stage's service time is the
+        measured mean; jitter is the p95-mean spread, clamped to the
+        mean so the :class:`PipelineStage` invariant holds.
+
+        ``parallelism`` optionally maps a stage name to a worker count:
+        the stage's service time is divided by it, modeling the
+        executor fanning that stage's independent work (per-camera
+        splats, color-vs-depth streams) across workers.  This is how
+        the scaling bench projects pipelined throughput on hardware
+        with more cores than the calibration host.
+        """
+        parallelism = parallelism or {}
+        stages = []
+        for name, timing in timings.items():
+            workers = max(1, int(parallelism.get(name, 1)))
+            mean = timing.mean_s / workers
+            jitter = min(max(timing.p95_s - timing.mean_s, 0.0) / workers, mean)
+            stages.append(
+                PipelineStage(name=name, service_time_s=mean, jitter_s=jitter)
+            )
+        if not stages:
+            raise ValueError("timings is empty; nothing to calibrate from")
+        return cls(stages, admission_buffer=admission_buffer, seed=seed)
+
     def run(self, num_frames: int, fps: float) -> PipelineRun:
         """Push ``num_frames`` frames captured at ``fps`` through."""
         if num_frames <= 0 or fps <= 0:

@@ -7,6 +7,18 @@ current bandwidth split (section 3.3), and -- every k frames -- measure
 sender-side RMSE from the encoders' reconstructions (the paper's
 parallel-decoder trick; our encoder returns the bit-exact decoded frame
 directly) to step the split controller.
+
+The pipeline is split into two stage entry points so the stage-graph
+runtime can schedule them independently:
+
+- :meth:`LiVoSender.prepare` -- cull + tile (pure per-frame work);
+- :meth:`LiVoSender.encode` -- the two stream encodes, the dominant
+  cost, dispatched through per-stream encoder *handles* so a parallel
+  executor can run color and depth concurrently in dedicated worker
+  processes (:meth:`LiVoSender.attach_executor`).
+
+:meth:`LiVoSender.process` remains as the one-call convenience wrapper
+and behaves exactly as before.
 """
 
 from __future__ import annotations
@@ -26,9 +38,11 @@ from repro.metrics.image import rmse
 from repro.prediction.culling import cull_views
 from repro.prediction.pose import Pose
 from repro.prediction.predictor import FrustumPredictor, ViewingDevice
+from repro.runtime.executors import Executor, _LocalStatefulHandle
+from repro.runtime.workers import WorkerCrash
 from repro.tiling.tiler import TileLayout, Tiler
 
-__all__ = ["LiVoSender", "SenderResult"]
+__all__ = ["LiVoSender", "PreparedFrame", "SenderResult"]
 
 # LiVo compares depth and color RMSE directly (section 3.3).  Depth
 # errors live on the 16-bit scaled axis, color on 8-bit; comparing
@@ -39,22 +53,55 @@ DEPTH_RMSE_SCALE = 1.0
 
 
 @dataclass
-class SenderResult:
-    """One capture's encoded output plus bookkeeping."""
+class PreparedFrame:
+    """Culled + tiled sender-side intermediate (output of the prepare
+    stage, input to the encode stage).
+
+    ``is_empty`` marks the degenerate captures the encode stage must
+    skip cleanly: culling removed every visible pixel, or the capture
+    itself carried no valid depth (all cameras dropped).  Tiling is
+    skipped for them -- there is nothing to tile.
+    """
 
     sequence: int
-    color_frame: EncodedFrame
-    depth_frame: EncodedFrame
+    tiled_color: np.ndarray | None
+    tiled_depth: np.ndarray | None
+    culled_points: int
+    total_points: int
+    culled_multiview: MultiViewFrame
+
+    @property
+    def is_empty(self) -> bool:
+        """No visible content survived culling (or none was captured)."""
+        return self.culled_points == 0
+
+
+@dataclass
+class SenderResult:
+    """One capture's encoded output plus bookkeeping.
+
+    ``empty`` marks a degenerate capture that produced nothing to send:
+    the frames are None, zero bytes go on the wire, and the encoder
+    reference chains are untouched (the next real frame continues the
+    chain, no INTRA needed).
+    """
+
+    sequence: int
+    color_frame: EncodedFrame | None
+    depth_frame: EncodedFrame | None
     split: float
     culled_points: int
     total_points: int
     color_rmse: float | None
     depth_rmse: float | None
     culled_multiview: MultiViewFrame
+    empty: bool = False
 
     @property
     def total_bytes(self) -> int:
         """Wire bytes of both streams for this capture."""
+        if self.color_frame is None or self.depth_frame is None:
+            return 0
         return self.color_frame.size_bytes + self.depth_frame.size_bytes
 
 
@@ -76,14 +123,24 @@ class LiVoSender:
         self.color_tiler = Tiler(self.layout, is_color=True)
         self.depth_tiler = Tiler(self.layout, is_color=False)
 
-        color_codec = VideoCodecConfig(
+        self._color_codec = VideoCodecConfig(
             gop_size=config.gop_size, search_range=config.codec_search_range
         )
-        depth_codec = VideoCodecConfig.for_depth(
+        self._depth_codec = VideoCodecConfig.for_depth(
             gop_size=config.gop_size, search_range=config.codec_search_range
         )
-        self.color_encoder = VideoEncoder(color_codec)
-        self.depth_encoder = VideoEncoder(depth_codec)
+        self.color_encoder = VideoEncoder(self._color_codec)
+        self.depth_encoder = VideoEncoder(self._depth_codec)
+        # Encode work flows through per-stream handles so an executor
+        # can host each encoder in a dedicated worker process; the
+        # default handles just wrap the in-process encoders.
+        self._color_handle = _LocalStatefulHandle(
+            lambda: self.color_encoder, "color-encoder"
+        )
+        self._depth_handle = _LocalStatefulHandle(
+            lambda: self.depth_encoder, "depth-encoder"
+        )
+        self._remote_encoders = False
         self.split = SplitController(
             initial=config.split_initial,
             minimum=config.split_min,
@@ -97,6 +154,60 @@ class LiVoSender:
         self._frames_processed = 0
         self._recover_with_intra = False
         self.encode_failures = 0
+        self.worker_crashes = 0
+
+    # ------------------------------------------------------------------
+    # Executor attachment (parallel encode)
+    # ------------------------------------------------------------------
+
+    def attach_executor(self, executor: Executor) -> None:
+        """Host the two encoders in dedicated executor workers.
+
+        With a process executor, color and depth encode one frame
+        concurrently -- the paper's "dedicated thread per stage".  Must
+        be called before the first frame (the workers start from fresh
+        encoder state).  A serial executor leaves the in-process
+        handles untouched.
+        """
+        if self._frames_processed > 0:
+            raise RuntimeError("attach_executor before processing frames")
+        if not executor.parallel:
+            return
+        color_codec, depth_codec = self._color_codec, self._depth_codec
+        self._color_handle = executor.stateful(
+            lambda: VideoEncoder(color_codec), "color-encoder"
+        )
+        self._depth_handle = executor.stateful(
+            lambda: VideoEncoder(depth_codec), "depth-encoder"
+        )
+        self._remote_encoders = True
+
+    def _fall_back_to_local_encoders(self) -> None:
+        """Replace crashed encode workers with fresh in-process encoders.
+
+        The fresh encoders start without reference state, which is
+        exactly the post-failure contract: the next frame is forced
+        INTRA, so sender and receiver chains restart cleanly.
+        """
+        self.worker_crashes += 1
+        for handle in (self._color_handle, self._depth_handle):
+            try:
+                handle.close()
+            except Exception:
+                pass
+        self.color_encoder = VideoEncoder(self._color_codec)
+        self.depth_encoder = VideoEncoder(self._depth_codec)
+        self._color_handle = _LocalStatefulHandle(
+            lambda: self.color_encoder, "color-encoder"
+        )
+        self._depth_handle = _LocalStatefulHandle(
+            lambda: self.depth_encoder, "depth-encoder"
+        )
+        self._remote_encoders = False
+
+    # ------------------------------------------------------------------
+    # Pose feedback
+    # ------------------------------------------------------------------
 
     def observe_pose(self, pose: Pose, timestamp_s: float) -> None:
         """Fold in a delayed pose report from the receiver."""
@@ -112,8 +223,150 @@ class LiVoSender:
         """
         self.encode_failures += 1
         self._recover_with_intra = True
-        self.color_encoder.reset()
-        self.depth_encoder.reset()
+        for handle in (self._color_handle, self._depth_handle):
+            try:
+                handle.call("reset")
+            except WorkerCrash:
+                self._fall_back_to_local_encoders()
+                # Fresh local encoders are already reset.
+                break
+
+    # ------------------------------------------------------------------
+    # Stage bodies
+    # ------------------------------------------------------------------
+
+    def prepare(
+        self, frame: MultiViewFrame, prediction_horizon_s: float
+    ) -> PreparedFrame:
+        """Cull + tile stage: predict the frustum, cull views, compose tiles.
+
+        Degenerate captures -- culling removed everything, or no camera
+        contributed a valid pixel -- come back with ``is_empty`` set and
+        no tiles; the encode stage turns them into a skippable result
+        instead of encoding all-zero frames.
+        """
+        total_points = frame.total_points()
+        culled = frame
+        if self.config.scheme.culling and self.predictor.ready:
+            frustum = self.predictor.predict_frustum(prediction_horizon_s)
+            culled = cull_views(frame, self.cameras, frustum)
+        culled_points = culled.total_points()
+        if culled_points == 0:
+            return PreparedFrame(
+                sequence=frame.sequence,
+                tiled_color=None,
+                tiled_depth=None,
+                culled_points=0,
+                total_points=total_points,
+                culled_multiview=culled,
+            )
+
+        tiled_color = self.color_tiler.compose(
+            [view.color for view in culled.views], frame.sequence
+        )
+        scaled_views = [
+            scale_depth(view.depth_mm, self.config.max_depth_mm) for view in culled.views
+        ]
+        tiled_depth = self.depth_tiler.compose(scaled_views, frame.sequence)
+        return PreparedFrame(
+            sequence=frame.sequence,
+            tiled_color=tiled_color,
+            tiled_depth=tiled_depth,
+            culled_points=culled_points,
+            total_points=total_points,
+            culled_multiview=culled,
+        )
+
+    def encode(
+        self,
+        prepared: PreparedFrame,
+        target_rate_bps: float,
+        force_intra: bool = False,
+        fail_encode: bool = False,
+        color_budget_scale: float = 1.0,
+    ) -> SenderResult | None:
+        """Encode stage: both streams through their encoder handles.
+
+        Returns None when the encode fails (injected via ``fail_encode``
+        or a genuine encoder exception): the capture is skipped rather
+        than crashing the session, and the next successful frame is
+        forced INTRA so both reference chains restart cleanly.  A dead
+        encode worker is handled the same way, after falling back to
+        in-process encoders -- the session degrades instead of hanging.
+        An ``is_empty`` prepared frame yields a valid, skippable
+        result without touching the encoders.
+        ``color_budget_scale`` trims the color stream's byte budget
+        (the degradation ladder's chroma-lite rung).
+        """
+        if fail_encode:
+            self._on_encode_failure()
+            return None
+        if prepared.is_empty:
+            return SenderResult(
+                sequence=prepared.sequence,
+                color_frame=None,
+                depth_frame=None,
+                split=self.split.split,
+                culled_points=0,
+                total_points=prepared.total_points,
+                color_rmse=None,
+                depth_rmse=None,
+                culled_multiview=prepared.culled_multiview,
+                empty=True,
+            )
+        force_intra = force_intra or self._recover_with_intra
+        if self.config.scheme.adaptation:
+            budget_bytes = max(target_rate_bps / 8.0 * self.config.frame_interval_s, 2.0)
+            depth_budget, color_budget = self.split.allocate(budget_bytes)
+            if color_budget_scale < 1.0:
+                color_budget = max(color_budget * color_budget_scale, 1.0)
+            color_call = ("encode_to_target", prepared.tiled_color, color_budget)
+            depth_call = ("encode_to_target", prepared.tiled_depth, depth_budget)
+        else:
+            color_call = ("encode", prepared.tiled_color, self.config.scheme.fixed_color_qp)
+            depth_call = ("encode", prepared.tiled_depth, self.config.scheme.fixed_depth_qp)
+        try:
+            # Dispatch both streams before collecting either: on a
+            # process executor the two encodes run concurrently.
+            color_pending = self._color_handle.call_async(
+                *color_call, force_intra=force_intra
+            )
+            depth_pending = self._depth_handle.call_async(
+                *depth_call, force_intra=force_intra
+            )
+            color_frame, color_recon = color_pending.result()
+            depth_frame, depth_recon = depth_pending.result()
+        except WorkerCrash:
+            self._fall_back_to_local_encoders()
+            self._on_encode_failure()
+            return None
+        except Exception:
+            self._on_encode_failure()
+            return None
+        self._recover_with_intra = False
+
+        color_error: float | None = None
+        depth_error: float | None = None
+        if (
+            self.config.scheme.adaptation
+            and self._frames_processed % self.config.rmse_every_k == 0
+        ):
+            color_error = rmse(prepared.tiled_color, color_recon)
+            depth_error = rmse(prepared.tiled_depth, depth_recon) * DEPTH_RMSE_SCALE
+            self.split.update(depth_error, color_error)
+        self._frames_processed += 1
+
+        return SenderResult(
+            sequence=prepared.sequence,
+            color_frame=color_frame,
+            depth_frame=depth_frame,
+            split=self.split.split,
+            culled_points=prepared.culled_points,
+            total_points=prepared.total_points,
+            color_rmse=color_error,
+            depth_rmse=depth_error,
+            culled_multiview=prepared.culled_multiview,
+        )
 
     def process(
         self,
@@ -126,74 +379,23 @@ class LiVoSender:
     ) -> SenderResult | None:
         """Run one capture through the full sender pipeline.
 
-        Returns None when the encode fails (injected via ``fail_encode``
-        or a genuine encoder exception): the capture is skipped rather
-        than crashing the session, and the next successful frame is
-        forced INTRA so both reference chains restart cleanly.
-        ``color_budget_scale`` trims the color stream's byte budget
-        (the degradation ladder's chroma-lite rung).
+        Convenience wrapper over :meth:`prepare` + :meth:`encode`; the
+        sessions call the stages separately so the runtime can time and
+        schedule them.
         """
-        total_points = frame.total_points()
-        culled = frame
-        if self.config.scheme.culling and self.predictor.ready:
-            frustum = self.predictor.predict_frustum(prediction_horizon_s)
-            culled = cull_views(frame, self.cameras, frustum)
-
-        tiled_color = self.color_tiler.compose(
-            [view.color for view in culled.views], frame.sequence
+        prepared = self.prepare(frame, prediction_horizon_s)
+        return self.encode(
+            prepared,
+            target_rate_bps,
+            force_intra=force_intra,
+            fail_encode=fail_encode,
+            color_budget_scale=color_budget_scale,
         )
-        scaled_views = [
-            scale_depth(view.depth_mm, self.config.max_depth_mm) for view in culled.views
-        ]
-        tiled_depth = self.depth_tiler.compose(scaled_views, frame.sequence)
 
-        if fail_encode:
-            self._on_encode_failure()
-            return None
-        force_intra = force_intra or self._recover_with_intra
-        try:
-            if self.config.scheme.adaptation:
-                budget_bytes = max(target_rate_bps / 8.0 * self.config.frame_interval_s, 2.0)
-                depth_budget, color_budget = self.split.allocate(budget_bytes)
-                if color_budget_scale < 1.0:
-                    color_budget = max(color_budget * color_budget_scale, 1.0)
-                color_frame, color_recon = self.color_encoder.encode_to_target(
-                    tiled_color, color_budget, force_intra=force_intra
-                )
-                depth_frame, depth_recon = self.depth_encoder.encode_to_target(
-                    tiled_depth, depth_budget, force_intra=force_intra
-                )
-            else:
-                color_frame, color_recon = self.color_encoder.encode(
-                    tiled_color, self.config.scheme.fixed_color_qp, force_intra=force_intra
-                )
-                depth_frame, depth_recon = self.depth_encoder.encode(
-                    tiled_depth, self.config.scheme.fixed_depth_qp, force_intra=force_intra
-                )
-        except Exception:
-            self._on_encode_failure()
-            return None
-        self._recover_with_intra = False
-
-        color_error: float | None = None
-        depth_error: float | None = None
-        if (
-            self.config.scheme.adaptation
-            and self._frames_processed % self.config.rmse_every_k == 0
-        ):
-            color_error = rmse(tiled_color, color_recon)
-            depth_error = rmse(tiled_depth, depth_recon) * DEPTH_RMSE_SCALE
-            self.split.update(depth_error, color_error)
-        self._frames_processed += 1
-
-        return SenderResult(
-            sequence=frame.sequence,
-            color_frame=color_frame,
-            depth_frame=depth_frame,
-            split=self.split.split,
-            culled_points=culled.total_points(),
-            total_points=total_points,
-            color_rmse=color_error,
-            depth_rmse=depth_error,
-            culled_multiview=culled,
-        )
+    def close(self) -> None:
+        """Release any encoder workers."""
+        for handle in (self._color_handle, self._depth_handle):
+            try:
+                handle.close()
+            except Exception:
+                pass

@@ -6,6 +6,19 @@ and renders at the receiver against the selected user trace -- exactly
 the methodology the paper uses to compare LiVo, LiVo-NoCull/NoAdapt,
 Draco-Oracle, and MeshReduce under identical workloads.
 
+The per-frame work runs on the stage-graph runtime
+(:mod:`repro.runtime`): capture -> prepare (cull+tile) -> encode form a
+:class:`~repro.runtime.stage.StageGraph` whose stages are individually
+wall-clock instrumented; decode and quality sampling are stages on the
+receive side.  The session itself remains the scheduler -- the
+feedback loops (GCC rate, bandwidth split, the stall watchdog's
+degradation ladder, PLI keyframe requests) all close within one
+capture tick, so stages are driven tick-by-tick rather than free-run.
+With ``config.jobs > 1`` an executor fans the per-camera rendering and
+the quality scoring out across worker processes and hosts the two
+video encoders in dedicated stateful workers; at ``jobs == 1`` the
+serial executor reproduces the reference schedule byte-identically.
+
 Bandwidth scaling: our frames are resolution-reduced, so traces are
 scaled by the raw-frame-size ratio (``trace_scale``), keeping the
 compression pressure -- raw rate over capacity -- equivalent to the
@@ -16,10 +29,9 @@ scale-invariant; reports also expose paper-equivalent absolute numbers.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 
-import numpy as np
-
-from repro.capture.dataset import VideoSpec
+from repro.capture.renderer import render_rgbd
 from repro.capture.rgbd import MultiViewFrame
 from repro.capture.rig import CaptureRig, default_rig
 from repro.capture.scene import Scene
@@ -28,8 +40,9 @@ from repro.compression.meshreduce import MeshReducePipeline, MeshReduceProfile
 from repro.compression.oracle import DracoOracle, OracleProfile
 from repro.core.config import PAPER_FRAME_SIZE_BYTES, SessionConfig
 from repro.core.receiver import LiVoReceiver
-from repro.core.sender import LiVoSender
+from repro.core.sender import LiVoSender, PreparedFrame, SenderResult
 from repro.core.stats import FaultEvent, FrameRecord, SessionReport
+from repro.faults.boundary import StageFaultBoundary
 from repro.faults.degradation import StallWatchdog, level_name
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
@@ -40,6 +53,9 @@ from repro.geometry.voxel import voxel_downsample
 from repro.metrics.pointssim import pointssim
 from repro.prediction.pose import PoseTrace
 from repro.prediction.predictor import ViewingDevice
+from repro.runtime.executors import Executor, make_executor
+from repro.runtime.profile import merge_timings
+from repro.runtime.stage import Stage, StageGraph
 from repro.transport.channel import WebRTCChannel
 from repro.transport.gcc import GCCConfig
 from repro.transport.link import EmulatedLink
@@ -81,8 +97,102 @@ def _auto_trace_scale(frame: MultiViewFrame) -> float:
     return max(frame.raw_size_bytes() / PAPER_FRAME_SIZE_BYTES, 1e-6)
 
 
+# ----------------------------------------------------------------------
+# Executor fan-out helpers.
+#
+# Worker processes are forked, so they inherit this module-level context
+# by memory -- the scene and cameras never cross a pipe.  It is set
+# right before the executor's first use; per-task arguments carry only
+# the small varying state (sequence, timestamp).
+# ----------------------------------------------------------------------
+
+_CAPTURE_CTX: dict = {}
+
+
+def _capture_chunk(task: tuple) -> list:
+    """Render a contiguous chunk of cameras for one capture tick.
+
+    Runs inside a worker: re-samples the scene (deterministic in the
+    timestamp, so every worker sees the same surface points) and splats
+    it through its assigned cameras.
+    """
+    camera_indices, sequence, timestamp_s = task
+    scene = _CAPTURE_CTX["scene"]
+    cameras = _CAPTURE_CTX["cameras"]
+    points, colors = scene.sample(timestamp_s)
+    return [
+        render_rgbd(
+            cameras[index], points, colors, sequence=sequence, timestamp_s=timestamp_s
+        )
+        for index in camera_indices
+    ]
+
+
+def _chunk_indices(count: int, chunks: int) -> list[list[int]]:
+    """Split ``range(count)`` into ``chunks`` contiguous, ordered runs."""
+    chunks = max(1, min(chunks, count))
+    size, extra = divmod(count, chunks)
+    out, start = [], 0
+    for index in range(chunks):
+        end = start + size + (1 if index < extra else 0)
+        out.append(list(range(start, end)))
+        start = end
+    return out
+
+
+def _capture_frame(
+    rig: CaptureRig, scene: Scene, sequence: int, executor: Executor | None
+) -> MultiViewFrame:
+    """One synchronized multi-view capture, fanned out when parallel.
+
+    The per-camera splats are independent and deterministic, so the
+    fan-out is byte-identical to :meth:`CaptureRig.capture` -- chunks
+    are contiguous and reassembled in camera order.
+    """
+    if executor is None or not executor.parallel:
+        return rig.capture(scene, sequence)
+    timestamp = sequence * rig.frame_interval_s
+    tasks = [
+        (chunk, sequence, timestamp)
+        for chunk in _chunk_indices(rig.num_cameras, executor.jobs)
+    ]
+    chunks = executor.map(_capture_chunk, tasks)
+    views = [view for chunk in chunks for view in chunk]
+    return MultiViewFrame(views, sequence=sequence, timestamp_s=timestamp)
+
+
+def _quality_job(
+    frame: MultiViewFrame,
+    cameras: list[RGBDCamera],
+    actual_frustum: Frustum,
+    render_voxel_m: float,
+    shown: PointCloud,
+):
+    """Pure quality-scoring job: build the ground truth, score the shown
+    cloud against it.  No session state touched, so it can run in any
+    worker; returns None when the truth is empty (nothing to score)."""
+    truth = ground_truth_cloud(frame, cameras, actual_frustum, render_voxel_m)
+    if truth.is_empty:
+        return None
+    return pointssim(truth, shown)
+
+
+@dataclass
+class _Tick:
+    """One capture tick's state as it traverses the send-side stages."""
+
+    sequence: int
+    now: float
+    target_rate_bps: float = 0.0
+    force_intra: bool = False
+    color_budget_scale: float = 1.0
+    frame: MultiViewFrame | None = None
+    prepared: PreparedFrame | None = None
+    result: SenderResult | None = None
+
+
 class _SessionBase:
-    """Shared rig construction and trace scaling."""
+    """Shared rig construction, trace scaling, and runtime plumbing."""
 
     def __init__(self, config: SessionConfig | None = None) -> None:
         self.config = config or SessionConfig()
@@ -95,6 +205,12 @@ class _SessionBase:
             width=config.camera_width,
             height=config.camera_height,
             fps=config.fps,
+        )
+
+    def _make_executor(self, on_crash=None) -> Executor:
+        """The executor this session's config asked for."""
+        return make_executor(
+            jobs=self.config.jobs, kind=self.config.executor, on_crash=on_crash
         )
 
     def _scaled_trace(
@@ -117,14 +233,16 @@ class LiVoSession(_SessionBase):
     The replay interleaves the sender and receiver on one simulated
     clock: every capture tick first resolves the oldest in-flight
     frames (decode + render-deadline accounting), then feeds the stall
-    watchdog, then captures/encodes/sends.  Interleaving is what lets
-    the receiver's observed outcomes steer the sender mid-session --
-    the degradation ladder -- and is behavior-identical to the older
-    three-phase replay when no faults fire and the ladder stays at
-    level 0.
+    watchdog, then runs the capture -> prepare -> encode stage graph
+    and sends.  Interleaving is what lets the receiver's observed
+    outcomes steer the sender mid-session -- the degradation ladder --
+    and is behavior-identical to the older three-phase replay when no
+    faults fire and the ladder stays at level 0.
 
     ``fault_plan`` injects deterministic faults (camera dropouts, link
-    outages, burst loss, encoder failures, corrupt bitstreams); see
+    outages, burst loss, encoder failures, corrupt bitstreams), attached
+    at stage boundaries via
+    :class:`~repro.faults.boundary.StageFaultBoundary`; see
     :mod:`repro.faults`.  ``config.resilience`` controls how much of
     the hardening -- fused partial rigs, skip-not-crash encodes,
     frame-freeze fallback, the watchdog ladder -- is active.
@@ -155,6 +273,8 @@ class LiVoSession(_SessionBase):
         rig = self._make_rig()
         sender = LiVoSender(rig.cameras, config, self.device)
         receiver = LiVoReceiver(rig.cameras, config)
+        events: list[FaultEvent] = []
+        boundary = StageFaultBoundary(injector, events)
 
         first = rig.capture(scene, 0)
         scaled_trace, scale = self._scaled_trace(bandwidth_trace, first)
@@ -188,17 +308,92 @@ class LiVoSession(_SessionBase):
         horizon_s = lag * interval
         duration = num_frames * interval
 
+        # The executor fans out per-camera capture + quality scoring and
+        # hosts the two encoders in dedicated workers when parallel.
+        executor = self._make_executor()
+        _CAPTURE_CTX["scene"] = scene
+        _CAPTURE_CTX["cameras"] = rig.cameras
+        sender.attach_executor(executor)
+
         captures: dict[int, MultiViewFrame] = {}
         encoded: dict[int, tuple] = {}
         records: dict[int, FrameRecord] = {}
         pair_arrivals: dict[int, dict[int, float]] = {}
         pending: deque[int] = deque()
-        events: list[FaultEvent] = []
+        quality_pending: list[tuple[FrameRecord, object]] = []
         quality_counter = 0
         rx_request_intra = False  # PLI-style request after a poisoned pair
-        active_camera_modes: dict[int, str] = {}
-        outage_active = False
-        burst_active = False
+
+        # ------------------------------------------------------------------
+        # Send-side stage graph: capture -> prepare -> encode.  Camera
+        # faults attach at the capture stage's exit boundary.
+        # ------------------------------------------------------------------
+
+        def do_capture(tick: _Tick) -> _Tick:
+            tick.frame = (
+                first
+                if tick.sequence == 0
+                else _capture_frame(rig, scene, tick.sequence, executor)
+            )
+            return tick
+
+        def camera_fault_hook(tick: _Tick) -> _Tick:
+            tick.frame = boundary.apply_camera_faults(tick.frame, tick.now)
+            return tick
+
+        def do_prepare(tick: _Tick) -> _Tick:
+            tick.prepared = sender.prepare(tick.frame, horizon_s)
+            return tick
+
+        def do_encode(tick: _Tick) -> _Tick:
+            tick.result = sender.encode(
+                tick.prepared,
+                tick.target_rate_bps,
+                force_intra=tick.force_intra,
+                fail_encode=boundary.encode_fails(tick.sequence),
+                color_budget_scale=tick.color_budget_scale,
+            )
+            return tick
+
+        graph = StageGraph(
+            [
+                Stage("capture", do_capture, post_hooks=[camera_fault_hook]),
+                Stage("prepare", do_prepare),
+                Stage("encode", do_encode),
+            ]
+        )
+
+        # Receive-side stages, driven on delivery rather than capture
+        # ticks; instrumented the same way.
+
+        def do_decode(args):
+            color_frame, depth_frame, sequence, now = args
+            color_frame = boundary.corrupt_delivered_pair(color_frame, sequence, now)
+            if hardened:
+                return receiver.decode_pair_safe(color_frame, depth_frame)
+            if receiver.can_decode(color_frame, depth_frame):
+                return receiver.decode_pair(color_frame, depth_frame)
+            return None
+
+        def do_quality(args):
+            record, pair, now_sequence = args
+            actual = self.device.frustum_for(user_trace.pose_at_frame(now_sequence))
+            voxel_m = None
+            if watchdog is not None and watchdog.voxel_scale() > 1.0:
+                voxel_m = config.render_voxel_m * watchdog.voxel_scale()
+            shown = receiver.render_view(receiver.reconstruct(pair), actual, voxel_m)
+            future = executor.submit(
+                _quality_job,
+                captures[now_sequence],
+                rig.cameras,
+                actual,
+                config.render_voxel_m,
+                shown,
+            )
+            quality_pending.append((record, future))
+
+        decode_stage = Stage("decode", do_decode)
+        quality_stage = Stage("quality", do_quality)
 
         def ingest(deliveries) -> None:
             for delivery in deliveries:
@@ -229,18 +424,13 @@ class LiVoSession(_SessionBase):
             quality_counter += 1
             if (quality_counter - 1) % config.quality_every != 0:
                 return
-            actual = self.device.frustum_for(user_trace.pose_at_frame(now_sequence))
-            voxel_m = None
-            if watchdog is not None and watchdog.voxel_scale() > 1.0:
-                voxel_m = config.render_voxel_m * watchdog.voxel_scale()
-            shown = receiver.render_view(receiver.reconstruct(pair), actual, voxel_m)
-            truth = ground_truth_cloud(
-                captures[now_sequence], rig.cameras, actual, config.render_voxel_m
-            )
-            if not truth.is_empty:
-                score = pointssim(truth, shown)
-                record.pssim_geometry = score.geometry
-                record.pssim_color = score.color
+            quality_stage((record, pair, now_sequence))
+
+        def prune(sequence: int) -> None:
+            """Drop a resolved frame's buffered state (bounded memory)."""
+            captures.pop(sequence, None)
+            encoded.pop(sequence, None)
+            pair_arrivals.pop(sequence, None)
 
         def resolve_head(now: float, final: bool) -> bool:
             """Resolve the oldest in-flight frame if its fate is known.
@@ -265,24 +455,7 @@ class LiVoSession(_SessionBase):
                 deadline = record.capture_time_s + config.playout_delay_s
                 playout_time = pair_time + config.jitter_target_s
                 color_frame, depth_frame = encoded[sequence]
-                if injector is not None and injector.corrupts_pair(sequence):
-                    color_frame = injector.corrupt_frame(color_frame)
-                    events.append(
-                        FaultEvent(
-                            time_s=now,
-                            category="corrupt_frame",
-                            detail="injected bitstream corruption",
-                            sequence=sequence,
-                        )
-                    )
-                if hardened:
-                    pair = receiver.decode_pair_safe(color_frame, depth_frame)
-                else:
-                    pair = (
-                        receiver.decode_pair(color_frame, depth_frame)
-                        if receiver.can_decode(color_frame, depth_frame)
-                        else None
-                    )
+                pair = decode_stage((color_frame, depth_frame, sequence, now))
                 if pair is not None:
                     record.delivery_time_s = pair_time
                     if playout_time <= deadline + 1e-9:
@@ -324,135 +497,122 @@ class LiVoSession(_SessionBase):
             else:
                 return False
             pending.popleft()
+            prune(sequence)
             return True
 
         # --------------------------------------------------------------
         # Interleaved replay: resolve receives, then capture and send.
         # --------------------------------------------------------------
-        for sequence in range(num_frames):
-            now = sequence * interval
-            ingest(channel.poll_deliveries(now))
-            while pending and resolve_head(now, final=False):
-                pass
-            if sequence >= lag:
-                sender.observe_pose(
-                    user_trace.pose_at_frame(sequence - lag),
-                    (sequence - lag) * interval,
+        try:
+            for sequence in range(num_frames):
+                now = sequence * interval
+                ingest(channel.poll_deliveries(now))
+                while pending and resolve_head(now, final=False):
+                    pass
+                if sequence >= lag:
+                    sender.observe_pose(
+                        user_trace.pose_at_frame(sequence - lag),
+                        (sequence - lag) * interval,
+                    )
+                boundary.tick(now)
+                level = watchdog.level if watchdog is not None else 0
+                if watchdog is not None and watchdog.skips_tick(sequence):
+                    records[sequence] = FrameRecord(
+                        sequence=sequence,
+                        capture_time_s=now,
+                        rendered=False,
+                        stalled=False,
+                        skipped=True,
+                        degradation_level=level,
+                    )
+                    continue
+                force_intra = (
+                    channel.needs_keyframe(0)
+                    or channel.needs_keyframe(1)
+                    or rx_request_intra
                 )
-            if injector is not None:
-                outage_now = injector.link_outage_active(now)
-                if outage_now != outage_active:
+                tick = graph.run_item(
+                    _Tick(
+                        sequence=sequence,
+                        now=now,
+                        target_rate_bps=channel.target_rate_bps(),
+                        force_intra=force_intra,
+                        color_budget_scale=(
+                            watchdog.color_budget_scale()
+                            if watchdog is not None
+                            else 1.0
+                        ),
+                    )
+                )
+                captures[sequence] = tick.frame
+                result = tick.result
+                if result is None:
+                    records[sequence] = FrameRecord(
+                        sequence=sequence,
+                        capture_time_s=now,
+                        rendered=False,
+                        stalled=True,
+                        encode_failed=True,
+                        degradation_level=level,
+                    )
                     events.append(
                         FaultEvent(
                             time_s=now,
-                            category="link_outage" if outage_now else "link_outage_end",
-                            detail="link outage window",
-                            recovered=not outage_now,
+                            category="encode_failure",
+                            detail="encode failed; capture skipped, next frame INTRA",
+                            sequence=sequence,
                         )
                     )
-                    outage_active = outage_now
-                burst_now = injector.burst_loss_active(now)
-                if burst_now != burst_active:
-                    events.append(
-                        FaultEvent(
-                            time_s=now,
-                            category="burst_loss" if burst_now else "burst_loss_end",
-                            detail="Gilbert-Elliott burst-loss window",
-                            recovered=not burst_now,
-                        )
+                    observe_deadline(False, now)
+                    continue
+                if result.empty:
+                    # Degenerate capture: culling removed every visible
+                    # point (or no camera contributed one).  Nothing to
+                    # send -- a valid, skippable outcome, not a failure;
+                    # the encoder reference chains are untouched.
+                    records[sequence] = FrameRecord(
+                        sequence=sequence,
+                        capture_time_s=now,
+                        rendered=False,
+                        stalled=False,
+                        total_points=result.total_points,
+                        degradation_level=level,
+                        empty=True,
                     )
-                    burst_active = burst_now
-            level = watchdog.level if watchdog is not None else 0
-            if watchdog is not None and watchdog.skips_tick(sequence):
-                records[sequence] = FrameRecord(
-                    sequence=sequence,
-                    capture_time_s=now,
-                    rendered=False,
-                    stalled=False,
-                    skipped=True,
-                    degradation_level=level,
-                )
-                continue
-            frame = first if sequence == 0 else rig.capture(scene, sequence)
-            if injector is not None:
-                frame, modes = injector.apply_camera_faults(frame, now)
-                for camera_id, mode in modes.items():
-                    if active_camera_modes.get(camera_id) != mode:
-                        events.append(
-                            FaultEvent(
-                                time_s=now,
-                                category=f"camera_{mode}",
-                                detail=f"camera {camera_id} {mode} window",
-                                sequence=sequence,
-                            )
-                        )
-                for camera_id in active_camera_modes:
-                    if camera_id not in modes:
-                        events.append(
-                            FaultEvent(
-                                time_s=now,
-                                category="camera_recovered",
-                                detail=f"camera {camera_id} healthy again",
-                                sequence=sequence,
-                                recovered=True,
-                            )
-                        )
-                active_camera_modes = modes
-            captures[sequence] = frame
-            force_intra = (
-                channel.needs_keyframe(0) or channel.needs_keyframe(1) or rx_request_intra
-            )
-            result = sender.process(
-                frame,
-                channel.target_rate_bps(),
-                horizon_s,
-                force_intra=force_intra,
-                fail_encode=injector.encode_fails(sequence) if injector is not None else False,
-                color_budget_scale=(
-                    watchdog.color_budget_scale() if watchdog is not None else 1.0
-                ),
-            )
-            if result is None:
+                    continue
+                if force_intra:
+                    rx_request_intra = False
+                encoded[sequence] = (result.color_frame, result.depth_frame)
                 records[sequence] = FrameRecord(
                     sequence=sequence,
                     capture_time_s=now,
                     rendered=False,
                     stalled=True,
-                    encode_failed=True,
+                    wire_bytes=result.total_bytes,
+                    split=result.split,
+                    culled_points=result.culled_points,
+                    total_points=result.total_points,
                     degradation_level=level,
                 )
-                events.append(
-                    FaultEvent(
-                        time_s=now,
-                        category="encode_failure",
-                        detail="encode failed; capture skipped, next frame INTRA",
-                        sequence=sequence,
-                    )
-                )
-                observe_deadline(False, now)
-                continue
-            if force_intra:
-                rx_request_intra = False
-            encoded[sequence] = (result.color_frame, result.depth_frame)
-            records[sequence] = FrameRecord(
-                sequence=sequence,
-                capture_time_s=now,
-                rendered=False,
-                stalled=True,
-                wire_bytes=result.total_bytes,
-                split=result.split,
-                culled_points=result.culled_points,
-                total_points=result.total_points,
-                degradation_level=level,
-            )
-            channel.send_frame(0, sequence, result.color_frame.size_bytes, now)
-            channel.send_frame(1, sequence, result.depth_frame.size_bytes, now)
-            pending.append(sequence)
+                channel.send_frame(0, sequence, result.color_frame.size_bytes, now)
+                channel.send_frame(1, sequence, result.depth_frame.size_bytes, now)
+                pending.append(sequence)
 
-        # Final drain: resolve every frame still in flight.
-        ingest(channel.poll_deliveries(duration + 5.0))
-        while pending:
-            resolve_head(duration + 5.0, final=True)
+            # Final drain: resolve every frame still in flight.
+            ingest(channel.poll_deliveries(duration + 5.0))
+            while pending:
+                resolve_head(duration + 5.0, final=True)
+
+            # Collect deferred quality scores (computed in workers when
+            # parallel; already resolved when serial).
+            for record, future in quality_pending:
+                score = future.result()
+                if score is not None:
+                    record.pssim_geometry = score.geometry
+                    record.pssim_color = score.color
+        finally:
+            sender.close()
+            executor.close()
 
         for stream_id, marker_sequence in channel.marker_frames:
             events.append(
@@ -465,7 +625,7 @@ class LiVoSession(_SessionBase):
             )
         events.sort(key=lambda event: event.time_s)
 
-        return SessionReport(
+        report = SessionReport(
             scheme=scheme_name,
             video=video_name,
             user_trace=user_trace.name,
@@ -477,6 +637,13 @@ class LiVoSession(_SessionBase):
             trace_scale=scale,
             fault_events=events,
         )
+        report.attach_stage_timings(
+            merge_timings(
+                graph.timings(),
+                {s.name: s.timing for s in (decode_stage, quality_stage)},
+            )
+        )
+        return report
 
 
 class DracoOracleSession(_SessionBase):
@@ -520,50 +687,79 @@ class DracoOracleSession(_SessionBase):
         compute_scale = PAPER_FRAME_SIZE_BYTES / max(first.raw_size_bytes(), 1)
         oracle = DracoOracle(profile, fps=oracle_fps, time_multiplier=compute_scale)
 
+        executor = self._make_executor()
+        _CAPTURE_CTX["scene"] = scene
+        _CAPTURE_CTX["cameras"] = rig.cameras
+
+        capture_stage = Stage(
+            "capture",
+            lambda seq: first if seq == 0 else _capture_frame(rig, scene, seq, executor),
+        )
+        cull_stage = Stage("cull", lambda args: culled_cloud(*args))
+        encode_stage = Stage(
+            "encode",
+            lambda args: oracle.encode_frame(args[0], args[1])
+            if not args[0].is_empty
+            else None,
+        )
+        quality_stage = Stage("quality", lambda fn: fn())
+
         records = []
         quality_counter = 0
-        for index, sequence in enumerate(range(0, num_frames, stride)):
-            capture_time = sequence * config.frame_interval_s
-            frame = first if sequence == 0 else rig.capture(scene, sequence)
-            cloud = culled_cloud(frame, sequence)
-            capacity_bps = scaled_trace.capacity_bps_at(capture_time)
-            encoded = oracle.encode_frame(cloud, capacity_bps) if not cloud.is_empty else None
-            record = FrameRecord(
-                sequence=sequence,
-                capture_time_s=capture_time,
-                rendered=False,
-                stalled=True,
-                total_points=cloud.num_points,
-                culled_points=cloud.num_points,
-            )
-            if encoded is not None:
-                record.wire_bytes = encoded.size_bytes
-                transmit = encoded.size_bytes * 8.0 / capacity_bps
-                delivery = (
-                    capture_time + encoded.encode_time_s * compute_scale + transmit
-                    + config.link.propagation_delay_s
+        try:
+            for sequence in range(0, num_frames, stride):
+                capture_time = sequence * config.frame_interval_s
+                frame = capture_stage(sequence)
+                cloud = cull_stage((frame, sequence))
+                capacity_bps = scaled_trace.capacity_bps_at(capture_time)
+                encoded = encode_stage((cloud, capacity_bps))
+                record = FrameRecord(
+                    sequence=sequence,
+                    capture_time_s=capture_time,
+                    rendered=False,
+                    stalled=True,
+                    total_points=cloud.num_points,
+                    culled_points=cloud.num_points,
                 )
-                record.delivery_time_s = delivery
-                if delivery <= capture_time + config.playout_delay_s:
-                    record.rendered = True
-                    record.stalled = False
-                    quality_counter += 1
-                    if (quality_counter - 1) % config.quality_every == 0:
-                        actual = self.device.frustum_for(user_trace.pose_at_frame(sequence))
-                        decoded = DracoCodec.decode(encoded)
-                        shown = voxel_downsample(decoded, config.render_voxel_m)
-                        shown = shown.select(actual.contains(shown.positions))
-                        truth = ground_truth_cloud(
-                            frame, rig.cameras, actual, config.render_voxel_m
-                        )
-                        if not truth.is_empty:
-                            score = pointssim(truth, shown)
-                            record.pssim_geometry = score.geometry
-                            record.pssim_color = score.color
-            records.append(record)
+                if encoded is not None:
+                    record.wire_bytes = encoded.size_bytes
+                    transmit = encoded.size_bytes * 8.0 / capacity_bps
+                    delivery = (
+                        capture_time + encoded.encode_time_s * compute_scale + transmit
+                        + config.link.propagation_delay_s
+                    )
+                    record.delivery_time_s = delivery
+                    if delivery <= capture_time + config.playout_delay_s:
+                        record.rendered = True
+                        record.stalled = False
+                        quality_counter += 1
+                        if (quality_counter - 1) % config.quality_every == 0:
+
+                            def score_frame(
+                                frame=frame, encoded=encoded, sequence=sequence,
+                                record=record,
+                            ):
+                                actual = self.device.frustum_for(
+                                    user_trace.pose_at_frame(sequence)
+                                )
+                                decoded = DracoCodec.decode(encoded)
+                                shown = voxel_downsample(decoded, config.render_voxel_m)
+                                shown = shown.select(actual.contains(shown.positions))
+                                truth = ground_truth_cloud(
+                                    frame, rig.cameras, actual, config.render_voxel_m
+                                )
+                                if not truth.is_empty:
+                                    score = pointssim(truth, shown)
+                                    record.pssim_geometry = score.geometry
+                                    record.pssim_color = score.color
+
+                            quality_stage(score_frame)
+                records.append(record)
+        finally:
+            executor.close()
 
         duration = num_frames * config.frame_interval_s
-        return SessionReport(
+        report = SessionReport(
             scheme="Draco-Oracle",
             video=video_name,
             user_trace=user_trace.name,
@@ -574,6 +770,13 @@ class DracoOracleSession(_SessionBase):
             mean_capacity_mbps=scaled_trace.stats().mean,
             trace_scale=scale,
         )
+        report.attach_stage_timings(
+            {
+                s.name: s.timing
+                for s in (capture_stage, cull_stage, encode_stage, quality_stage)
+            }
+        )
+        return report
 
 
 class MeshReduceSession(_SessionBase):
@@ -603,44 +806,71 @@ class MeshReduceSession(_SessionBase):
         stream = ReliableByteStream(scaled_trace, config.link.propagation_delay_s)
         pipeline = MeshReducePipeline(rig.cameras, stream, voxel)
 
+        executor = self._make_executor()
+        _CAPTURE_CTX["scene"] = scene
+        _CAPTURE_CTX["cameras"] = rig.cameras
+
+        capture_stage = Stage(
+            "capture",
+            lambda seq: first if seq == 0 else _capture_frame(rig, scene, seq, executor),
+        )
+        compress_stage = Stage(
+            "compress", lambda args: pipeline.offer_frame(args[0], args[1])
+        )
+        quality_stage = Stage("quality", lambda fn: fn())
+
         records = []
         quality_counter = 0
-        for sequence in range(num_frames):
-            capture_time = sequence * config.frame_interval_s
-            frame = first if sequence == 0 else rig.capture(scene, sequence)
-            result = pipeline.offer_frame(frame, capture_time)
-            # MeshReduce never stalls; skipped frames lower its rate
-            # (section 4.3: "instead of experiencing stalls, it exhibits
-            # varying frame rates").
-            record = FrameRecord(
-                sequence=sequence,
-                capture_time_s=capture_time,
-                rendered=result.sent,
-                stalled=False,
-                wire_bytes=result.size_bytes,
-                total_points=frame.total_points(),
-                culled_points=frame.total_points(),
-                delivery_time_s=result.delivery_time_s,
-            )
-            if result.sent and result.mesh is not None:
-                quality_counter += 1
-                if (quality_counter - 1) % config.quality_every == 0:
-                    actual = self.device.frustum_for(user_trace.pose_at_frame(sequence))
-                    truth = ground_truth_cloud(
-                        frame, rig.cameras, actual, config.render_voxel_m
-                    )
-                    if not truth.is_empty:
-                        sampled = pipeline.reconstruct(
-                            result.mesh, max(2 * len(truth), 1000), seed=sequence
-                        )
-                        shown = sampled.select(actual.contains(sampled.positions))
-                        score = pointssim(truth, shown)
-                        record.pssim_geometry = score.geometry
-                        record.pssim_color = score.color
-            records.append(record)
+        try:
+            for sequence in range(num_frames):
+                capture_time = sequence * config.frame_interval_s
+                frame = capture_stage(sequence)
+                result = compress_stage((frame, capture_time))
+                # MeshReduce never stalls; skipped frames lower its rate
+                # (section 4.3: "instead of experiencing stalls, it exhibits
+                # varying frame rates").
+                record = FrameRecord(
+                    sequence=sequence,
+                    capture_time_s=capture_time,
+                    rendered=result.sent,
+                    stalled=False,
+                    wire_bytes=result.size_bytes,
+                    total_points=frame.total_points(),
+                    culled_points=frame.total_points(),
+                    delivery_time_s=result.delivery_time_s,
+                )
+                if result.sent and result.mesh is not None:
+                    quality_counter += 1
+                    if (quality_counter - 1) % config.quality_every == 0:
+
+                        def score_frame(
+                            frame=frame, result=result, sequence=sequence,
+                            record=record,
+                        ):
+                            actual = self.device.frustum_for(
+                                user_trace.pose_at_frame(sequence)
+                            )
+                            truth = ground_truth_cloud(
+                                frame, rig.cameras, actual, config.render_voxel_m
+                            )
+                            if not truth.is_empty:
+                                sampled = pipeline.reconstruct(
+                                    result.mesh, max(2 * len(truth), 1000), seed=sequence
+                                )
+                                shown = sampled.select(
+                                    actual.contains(sampled.positions)
+                                )
+                                score = pointssim(truth, shown)
+                                record.pssim_geometry = score.geometry
+                                record.pssim_color = score.color
+
+                        quality_stage(score_frame)
+                records.append(record)
+        finally:
+            executor.close()
 
         duration = num_frames * config.frame_interval_s
-        return SessionReport(
+        report = SessionReport(
             scheme="MeshReduce",
             video=video_name,
             user_trace=user_trace.name,
@@ -651,3 +881,10 @@ class MeshReduceSession(_SessionBase):
             mean_capacity_mbps=scaled_trace.stats().mean,
             trace_scale=scale,
         )
+        report.attach_stage_timings(
+            {
+                s.name: s.timing
+                for s in (capture_stage, compress_stage, quality_stage)
+            }
+        )
+        return report

@@ -50,6 +50,7 @@ class FrameRecord:
     skipped: bool = False    # ladder fps reduction skipped the tick
     frozen: bool = False     # frame-freeze fallback shown instead
     encode_failed: bool = False
+    empty: bool = False      # degenerate capture: nothing survived culling
 
 
 @dataclass
@@ -66,6 +67,35 @@ class SessionReport:
     mean_capacity_mbps: float = 0.0
     trace_scale: float = 1.0
     fault_events: list[FaultEvent] = field(default_factory=list)
+
+    # Stage timings ride along as a NON-field attribute: wall-clock
+    # measurements vary run to run, so they must stay invisible to
+    # ``dataclasses.asdict`` -- two replays of the same seed compare
+    # equal even though their timings differ.
+    _stage_timings = None
+
+    def attach_stage_timings(self, timings) -> None:
+        """Attach the runtime's per-stage ``StageTiming`` map."""
+        self._stage_timings = dict(timings)
+
+    @property
+    def stage_timings(self):
+        """Per-stage wall-clock timings, or None if never instrumented."""
+        return self._stage_timings
+
+    def timing_table(self) -> str:
+        """Human-readable per-stage service-time table (``--profile``)."""
+        if not self._stage_timings:
+            return "(no stage timings recorded)"
+        from repro.runtime.profile import format_stage_profile
+
+        return format_stage_profile(self._stage_timings, fps=self.fps_target)
+
+    def timing_dict(self) -> dict:
+        """JSON-friendly stage-timing summary (empty if uninstrumented)."""
+        if not self._stage_timings:
+            return {}
+        return {name: t.to_dict() for name, t in self._stage_timings.items()}
 
     # ------------------------------------------------------------------
     # Stalls and frame rate

@@ -1,0 +1,98 @@
+"""Bounded inter-stage queues (appendix A.1, "small inter-stage buffer").
+
+The paper's execution model connects each pipeline stage to the next
+through a small bounded buffer: a slow stage exerts *backpressure* on
+its upstream instead of letting work pile up without limit.  This
+module provides that primitive for the stage-graph runtime -- a
+thread-safe FIFO with a hard capacity, blocking semantics, and an
+occupancy high-watermark so tests can assert memory stays bounded.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = ["BoundedQueue", "QueueClosed"]
+
+
+class QueueClosed(Exception):
+    """Raised on put() after close(), or get() once a closed queue drains."""
+
+
+class BoundedQueue:
+    """A thread-safe bounded FIFO with blocking put/get and close().
+
+    ``put`` blocks while the queue holds ``capacity`` items -- that is
+    the backpressure contract: a producer can never run more than
+    ``capacity`` items ahead of its consumer.  ``close`` wakes all
+    waiters; pending items can still be drained, after which ``get``
+    raises :class:`QueueClosed`.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self.high_watermark = 0
+        self.total_put = 0
+        self.blocked_puts = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        """Whether close() has been called."""
+        with self._lock:
+            return self._closed
+
+    def put(self, item, timeout: float | None = None) -> None:
+        """Enqueue ``item``, blocking while the queue is full.
+
+        Raises :class:`QueueClosed` if the queue is closed, and
+        ``TimeoutError`` if ``timeout`` elapses while full.
+        """
+        with self._not_full:
+            if len(self._items) >= self.capacity:
+                self.blocked_puts += 1
+            while len(self._items) >= self.capacity and not self._closed:
+                if not self._not_full.wait(timeout):
+                    raise TimeoutError(
+                        f"queue full ({self.capacity}) for {timeout}s"
+                    )
+            if self._closed:
+                raise QueueClosed("put on a closed queue")
+            self._items.append(item)
+            self.total_put += 1
+            self.high_watermark = max(self.high_watermark, len(self._items))
+            self._not_empty.notify()
+
+    def get(self, timeout: float | None = None):
+        """Dequeue one item, blocking while empty.
+
+        Raises :class:`QueueClosed` once the queue is closed *and*
+        drained, and ``TimeoutError`` if ``timeout`` elapses first.
+        """
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    raise QueueClosed("queue closed and drained")
+                if not self._not_empty.wait(timeout):
+                    raise TimeoutError(f"queue empty for {timeout}s")
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def close(self) -> None:
+        """Close the queue and wake every blocked producer/consumer."""
+        with self._lock:
+            self._closed = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()

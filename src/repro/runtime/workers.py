@@ -1,0 +1,153 @@
+"""Dedicated stateful worker processes for stage execution.
+
+Some stages own long-lived mutable state -- a video encoder's
+reference-frame chain, a rate controller's model -- that a task pool
+cannot host because consecutive work items must hit the *same* object.
+A :class:`StatefulWorker` gives such a stage the paper's "dedicated
+thread": a single child process that constructs the object once and
+then serves method calls in FIFO order over a pipe.
+
+Crash semantics are explicit: a dead worker raises
+:class:`WorkerCrash` on the next call instead of hanging, so the
+session can degrade (skip the frame, force an INTRA restart, fall back
+to in-process execution) rather than wedge -- the same contract the
+PR 1 degradation ladder established for encoder failures.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+
+__all__ = ["RemoteError", "StatefulWorker", "WorkerCrash"]
+
+
+class WorkerCrash(RuntimeError):
+    """The worker process died (killed, OOM, hard crash)."""
+
+
+class RemoteError(RuntimeError):
+    """The remote method raised; the original error text is preserved."""
+
+
+def _stateful_main(conn, factory) -> None:
+    """Child-process loop: build the object, serve calls until EOF."""
+    try:
+        obj = factory()
+    except Exception as error:  # construction failed: report and exit
+        conn.send((False, f"{type(error).__name__}: {error}"))
+        conn.close()
+        return
+    conn.send((True, None))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:  # orderly shutdown
+            break
+        method, args, kwargs = message
+        try:
+            result = getattr(obj, method)(*args, **kwargs)
+            payload = (True, result)
+        except Exception as error:
+            payload = (False, f"{type(error).__name__}: {error}")
+        try:
+            conn.send(payload)
+        except (pickle.PicklingError, TypeError) as error:
+            conn.send((False, f"unpicklable result: {error}"))
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class _PendingCall:
+    """Handle to one in-flight asynchronous call on a StatefulWorker."""
+
+    def __init__(self, worker: "StatefulWorker") -> None:
+        self._worker = worker
+        self._done = False
+        self._value = None
+
+    def result(self):
+        """Block until the call completes; raise on failure or crash."""
+        if not self._done:
+            self._value = self._worker._receive()
+            self._done = True
+        return self._value
+
+
+class StatefulWorker:
+    """A child process hosting one stateful object, called like a proxy.
+
+    ``factory`` is a zero-argument callable building the hosted object;
+    with the fork start method it is inherited by memory, so closures
+    over live objects (configs, numpy arrays) are fine.  One call may
+    be outstanding at a time -- use :meth:`call_async` +
+    ``.result()`` to overlap two workers (e.g. color and depth
+    encoders running the same frame concurrently).
+    """
+
+    def __init__(self, factory, name: str = "stateful-worker") -> None:
+        self.name = name
+        ctx = mp.get_context("fork")
+        self._conn, child_conn = ctx.Pipe()
+        self._process = ctx.Process(
+            target=_stateful_main, args=(child_conn, factory),
+            name=name, daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+        self._pending: _PendingCall | None = None
+        ok, detail = self._recv_raw()
+        if not ok:
+            raise RemoteError(f"{name} failed to construct: {detail}")
+
+    @property
+    def pid(self) -> int | None:
+        """Worker process id (for tests that kill it)."""
+        return self._process.pid
+
+    def alive(self) -> bool:
+        """Whether the worker process is still running."""
+        return self._process.is_alive()
+
+    def _recv_raw(self):
+        try:
+            return self._conn.recv()
+        except (EOFError, OSError) as error:
+            raise WorkerCrash(f"{self.name} died: {error}") from error
+
+    def _receive(self):
+        self._pending = None
+        ok, value = self._recv_raw()
+        if not ok:
+            raise RemoteError(value)
+        return value
+
+    def call_async(self, method: str, *args, **kwargs) -> _PendingCall:
+        """Dispatch a method call without waiting for the result."""
+        if self._pending is not None:
+            raise RuntimeError(f"{self.name} already has a call in flight")
+        try:
+            self._conn.send((method, args, kwargs))
+        except (BrokenPipeError, OSError) as error:
+            raise WorkerCrash(f"{self.name} died: {error}") from error
+        self._pending = _PendingCall(self)
+        return self._pending
+
+    def call(self, method: str, *args, **kwargs):
+        """Synchronous call: dispatch and wait."""
+        return self.call_async(method, *args, **kwargs).result()
+
+    def close(self) -> None:
+        """Shut the worker down; safe to call on a dead worker."""
+        try:
+            self._conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(timeout=2.0)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=2.0)
+        self._conn.close()

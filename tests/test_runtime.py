@@ -1,0 +1,416 @@
+"""Stage-graph runtime: queues, stages, executors, workers, and the
+parallel session path.
+
+The contracts under test are the ones the refactor is stated against:
+bounded queues exert real backpressure (no unbounded growth), the
+threaded stage schedule produces the serial schedule's outputs in
+order, a crashed worker degrades the session instead of hanging it,
+and a parallel session replay is byte-identical to the serial one.
+"""
+
+import dataclasses
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.capture.dataset import load_video
+from repro.capture.rgbd import MultiViewFrame, RGBDFrame
+from repro.capture.rig import default_rig
+from repro.core.config import SessionConfig
+from repro.core.pipeline import StagedPipeline
+from repro.core.sender import LiVoSender
+from repro.core.session import LiVoSession
+from repro.prediction.pose import user_traces_for_video
+from repro.runtime import (
+    BoundedQueue,
+    ProcessExecutor,
+    QueueClosed,
+    SerialExecutor,
+    Stage,
+    StageError,
+    StageGraph,
+    StageTiming,
+    StatefulWorker,
+    ThreadExecutor,
+    WorkerCrash,
+    make_executor,
+)
+from repro.transport.traces import trace_1
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"no {x}")
+
+
+class _Counter:
+    """Tiny stateful object for StatefulWorker tests."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def incr(self, by: int = 1) -> int:
+        self.value += by
+        return self.value
+
+    def fail(self) -> None:
+        raise RuntimeError("deliberate")
+
+
+class TestBoundedQueue:
+    def test_fifo_and_capacity_validation(self):
+        queue = BoundedQueue(3)
+        for item in (1, 2, 3):
+            queue.put(item)
+        assert [queue.get(), queue.get(), queue.get()] == [1, 2, 3]
+        with pytest.raises(ValueError):
+            BoundedQueue(0)
+
+    def test_backpressure_bounds_occupancy(self):
+        """A fast producer can never run more than ``capacity`` ahead:
+        occupancy stays bounded and the producer measurably blocks."""
+        queue = BoundedQueue(2)
+        consumed = []
+
+        def produce():
+            for item in range(50):
+                queue.put(item)
+            queue.put(None)
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        while True:
+            item = queue.get()
+            if item is None:
+                break
+            time.sleep(0.001)  # slow consumer forces the queue full
+            consumed.append(item)
+        producer.join()
+        assert consumed == list(range(50))
+        assert queue.high_watermark <= 2
+        assert queue.blocked_puts > 0
+        assert queue.total_put == 51
+
+    def test_close_wakes_blocked_producer(self):
+        queue = BoundedQueue(1)
+        queue.put("occupied")
+        errors = []
+
+        def produce():
+            try:
+                queue.put("blocked")
+            except QueueClosed as error:
+                errors.append(error)
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        time.sleep(0.05)
+        queue.close()
+        producer.join(timeout=2.0)
+        assert not producer.is_alive()
+        assert len(errors) == 1
+        # Pending items drain, then the closed queue raises.
+        assert queue.get() == "occupied"
+        with pytest.raises(QueueClosed):
+            queue.get()
+
+
+class TestStageGraph:
+    def _graph(self):
+        return StageGraph(
+            [Stage("double", lambda x: 2 * x), Stage("inc", lambda x: x + 1)],
+            queue_capacity=2,
+        )
+
+    def test_serial_and_threaded_schedules_agree(self):
+        items = list(range(20))
+        serial = self._graph().run_stream(items)
+        threaded_graph = self._graph()
+        threaded = threaded_graph.run_stream(items, threaded=True)
+        assert serial == threaded == [2 * x + 1 for x in items]
+        # Bounded buffers: no stage ran unboundedly ahead.
+        assert threaded_graph.max_queue_watermark() <= 2
+
+    def test_timings_recorded_per_stage(self):
+        graph = self._graph()
+        graph.run_stream(list(range(5)))
+        timings = graph.timings()
+        assert set(timings) == {"double", "inc"}
+        assert all(t.count == 5 for t in timings.values())
+        assert all(t.mean_s >= 0 for t in timings.values())
+
+    def test_failed_item_becomes_stage_error_not_hang(self):
+        """A raising stage emits a StageError marker downstream; the
+        stream completes for every other item in both schedules."""
+
+        def picky(x):
+            if x == 3:
+                raise ValueError("no 3")
+            return x * 10
+
+        for threaded in (False, True):
+            graph = StageGraph(
+                [Stage("picky", picky), Stage("inc", lambda x: x + 1)]
+            )
+            results = graph.run_stream(list(range(6)), threaded=threaded)
+            assert len(results) == 6
+            errors = [r for r in results if isinstance(r, StageError)]
+            assert len(errors) == 1
+            assert errors[0].item == 3
+            assert [r for r in results if not isinstance(r, StageError)] == [
+                x * 10 + 1 for x in range(6) if x != 3
+            ]
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(ValueError):
+            StageGraph([Stage("a", lambda x: x), Stage("a", lambda x: x)])
+
+    def test_boundary_hooks_run_in_order(self):
+        trace = []
+        stage = Stage(
+            "hooked",
+            lambda x: trace.append("body") or x,
+            pre_hooks=[lambda x: trace.append("pre") or x],
+            post_hooks=[lambda x: trace.append("post") or x],
+        )
+        stage(1)
+        assert trace == ["pre", "body", "post"]
+        assert stage.timing.count == 1
+
+
+class TestExecutors:
+    def test_make_executor_selection(self):
+        assert make_executor(1, "auto").kind == "serial"
+        with make_executor(2, "thread") as ex:
+            assert ex.kind == "thread" and ex.parallel
+        with make_executor(2, "auto") as ex:
+            assert ex.kind in ("process", "thread")
+        with pytest.raises(ValueError):
+            make_executor(2, "gpu")
+        with pytest.raises(ValueError):
+            make_executor(0, "serial")
+
+    def test_map_and_submit_parity_across_substrates(self):
+        items = list(range(12))
+        expected = [x * x for x in items]
+        for executor in (SerialExecutor(), ThreadExecutor(2), ProcessExecutor(2)):
+            with executor:
+                assert executor.map(_square, items) == expected
+                assert executor.submit(_square, 7).result() == 49
+
+    def test_process_pool_crash_degrades_to_inline(self):
+        """Killing every pool worker mid-session must not hang or raise:
+        work transparently re-runs in-process and the crash is counted."""
+        observed = []
+        with ProcessExecutor(2, on_crash=lambda: observed.append(True)) as executor:
+            assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+            for process in executor._pool._processes.values():
+                os.kill(process.pid, signal.SIGKILL)
+            assert executor.map(_square, [4, 5]) == [16, 25]
+            assert executor.crashes == 1
+            assert observed == [True]
+            # Subsequent work stays inline, still correct.
+            assert executor.submit(_square, 6).result() == 36
+
+
+class TestStatefulWorker:
+    def test_calls_hit_the_same_object(self):
+        worker = StatefulWorker(_Counter, name="counter")
+        try:
+            assert worker.call("incr") == 1
+            assert worker.call("incr", 4) == 5
+            assert worker.alive()
+        finally:
+            worker.close()
+        assert not worker.alive()
+
+    def test_remote_exception_preserved_worker_survives(self):
+        worker = StatefulWorker(_Counter, name="counter")
+        try:
+            from repro.runtime import RemoteError
+
+            with pytest.raises(RemoteError, match="deliberate"):
+                worker.call("fail")
+            assert worker.call("incr") == 1  # still serving
+        finally:
+            worker.close()
+
+    def test_killed_worker_raises_worker_crash_not_hang(self):
+        worker = StatefulWorker(_Counter, name="victim")
+        try:
+            assert worker.call("incr") == 1
+            os.kill(worker.pid, signal.SIGKILL)
+            with pytest.raises(WorkerCrash):
+                worker.call("incr")
+        finally:
+            worker.close()
+
+
+def _synthetic_frame(rig, sequence=0, empty=False):
+    height = rig.cameras[0].intrinsics.height
+    width = rig.cameras[0].intrinsics.width
+    rng = np.random.default_rng(7 + sequence)
+    views = []
+    for index in range(len(rig.cameras)):
+        if empty:
+            depth = np.zeros((height, width), dtype=np.uint16)
+            color = np.zeros((height, width, 3), dtype=np.uint8)
+        else:
+            depth = rng.integers(500, 3000, (height, width)).astype(np.uint16)
+            color = rng.integers(0, 255, (height, width, 3)).astype(np.uint8)
+        views.append(RGBDFrame(color, depth, camera_id=index, sequence=sequence))
+    return MultiViewFrame(views, sequence=sequence)
+
+
+class TestSenderDegeneratePaths:
+    def _sender(self):
+        rig = default_rig(num_cameras=2, width=32, height=24)
+        config = SessionConfig(
+            num_cameras=2, camera_width=32, camera_height=24, gop_size=5
+        )
+        return rig, LiVoSender(rig.cameras, config)
+
+    def test_empty_capture_yields_skippable_result(self):
+        """A capture with no valid points (every view culled/dead) must
+        produce a valid zero-byte result, not an all-zero encode."""
+        rig, sender = self._sender()
+        prepared = sender.prepare(_synthetic_frame(rig, empty=True), 0.1)
+        assert prepared.is_empty
+        assert prepared.tiled_color is None and prepared.tiled_depth is None
+        result = sender.encode(prepared, 2e6)
+        assert result is not None and result.empty
+        assert result.total_bytes == 0
+        assert result.color_frame is None and result.depth_frame is None
+
+    def test_empty_frame_leaves_reference_chain_intact(self):
+        """Encoders skip empty frames entirely: the next real frame
+        continues the stream as if the empty capture never happened."""
+        rig, sender = self._sender()
+        real0 = sender.process(_synthetic_frame(rig, 0), 2e6, 0.1)
+        empty = sender.process(_synthetic_frame(rig, 1, empty=True), 2e6, 0.1)
+        real2 = sender.process(_synthetic_frame(rig, 2), 2e6, 0.1)
+        assert real0 is not None and not real0.empty
+        assert empty is not None and empty.empty
+        assert real2 is not None and not real2.empty
+        assert real2.total_bytes > 0
+
+    def test_encode_worker_crash_degrades_not_hangs(self):
+        """Killing the encode worker mid-session: the frame is skipped
+        (PR 1's skip-and-INTRA ladder), in-process encoders take over,
+        and the next frame encodes successfully."""
+        rig, sender = self._sender()
+        executor = make_executor(jobs=2, kind="process")
+        try:
+            sender.attach_executor(executor)
+            first = sender.process(_synthetic_frame(rig, 0), 2e6, 0.1)
+            assert first is not None and first.total_bytes > 0
+            pid = sender._color_handle.pid
+            assert pid is not None
+            os.kill(pid, signal.SIGKILL)
+            crashed = sender.process(_synthetic_frame(rig, 1), 2e6, 0.1)
+            assert crashed is None  # skip-not-crash, like an encode failure
+            assert sender.worker_crashes == 1
+            assert sender.encode_failures == 1
+            recovered = sender.process(_synthetic_frame(rig, 2), 2e6, 0.1)
+            assert recovered is not None and recovered.total_bytes > 0
+            # The post-failure frame restarts the chain with an INTRA.
+            assert recovered.color_frame.frame_type.value == "I"
+        finally:
+            sender.close()
+            executor.close()
+
+    def test_attach_executor_after_first_frame_rejected(self):
+        rig, sender = self._sender()
+        sender.process(_synthetic_frame(rig, 0), 2e6, 0.1)
+        with pytest.raises(RuntimeError):
+            sender.attach_executor(make_executor(jobs=2, kind="thread"))
+
+
+class TestParallelSessionParity:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        config = dict(
+            num_cameras=3, camera_width=32, camera_height=24,
+            scene_sample_budget=5000, gop_size=5, quality_every=3,
+        )
+        _, scene = load_video("office1", sample_budget=5000)
+        user = user_traces_for_video("office1", 16)[0]
+        return config, scene, user
+
+    def test_parallel_replay_is_byte_identical_to_serial(self, workload):
+        """The tentpole guarantee: jobs=N process execution produces
+        the exact serial SessionReport, frame records and all."""
+        base, scene, user = workload
+        serial = LiVoSession(SessionConfig(**base)).run(
+            scene, user, trace_1(duration_s=5), 6
+        )
+        parallel = LiVoSession(
+            SessionConfig(**base, jobs=2, executor="process")
+        ).run(scene, user, trace_1(duration_s=5), 6)
+        assert dataclasses.asdict(parallel) == dataclasses.asdict(serial)
+
+    def test_stage_timings_attached_but_asdict_invisible(self, workload):
+        base, scene, user = workload
+        report = LiVoSession(SessionConfig(**base)).run(
+            scene, user, trace_1(duration_s=5), 4
+        )
+        timings = report.stage_timings
+        assert timings is not None
+        assert {"capture", "prepare", "encode", "decode"} <= set(timings)
+        assert timings["capture"].count == 4
+        assert "_stage_timings" not in dataclasses.asdict(report)
+        assert "capture" in report.timing_table()
+        assert report.timing_dict()["encode"]["count"] == 4
+
+
+class TestConfigAndModel:
+    def test_config_validates_runtime_fields(self):
+        with pytest.raises(ValueError):
+            SessionConfig(jobs=0)
+        with pytest.raises(ValueError):
+            SessionConfig(executor="gpu")
+        config = SessionConfig(jobs=4, executor="process", profile=True)
+        assert config.jobs == 4
+
+    def test_cli_exposes_runtime_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["run", "--jobs", "4", "--executor", "process", "--profile"]
+        )
+        assert args.jobs == 4
+        assert args.executor == "process"
+        assert args.profile
+
+    def test_from_measured_calibrates_pipeline(self):
+        capture = StageTiming("capture", samples=[0.020] * 19 + [0.030])
+        encode = StageTiming("encode", samples=[0.010] * 20)
+        pipeline = StagedPipeline.from_measured(
+            {"capture": capture, "encode": encode}
+        )
+        by_name = {stage.name: stage for stage in pipeline.stages}
+        assert by_name["capture"].service_time_s == pytest.approx(0.0205)
+        assert by_name["encode"].jitter_s == 0.0
+        assert pipeline.bottleneck().name == "capture"
+        assert pipeline.sustains(30.0)
+
+    def test_from_measured_parallelism_divides_service_time(self):
+        capture = StageTiming("capture", samples=[0.080] * 10)
+        slow = StagedPipeline.from_measured({"capture": capture})
+        fast = StagedPipeline.from_measured(
+            {"capture": capture}, parallelism={"capture": 4}
+        )
+        assert not slow.sustains(30.0)
+        assert fast.sustains(30.0)
+        assert fast.stages[0].service_time_s == pytest.approx(0.020)
+
+    def test_from_measured_rejects_empty(self):
+        with pytest.raises(ValueError):
+            StagedPipeline.from_measured({})
