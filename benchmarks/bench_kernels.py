@@ -1,0 +1,242 @@
+"""Benchmark the kernel-cache fast paths against their uncached twins.
+
+Three kernels, each measured cached vs uncached with parity asserted
+before any timing is trusted:
+
+- **capture**: incremental splat rendering (``ProjectionCache`` via
+  ``CachedFrameSource``) vs full per-frame re-rendering, on the
+  standard 10-camera bench scene;
+- **quality**: PointSSIM with the split precompute + ``FeatureCache``
+  (one reference scored against several degraded baselines, the shape
+  of every rate-ladder sweep) vs recomputing features per call;
+- **codec**: the video encoder with its ``ScratchArena`` vs cold
+  buffers every frame.
+
+Writes ``BENCH_kernels.json`` next to the repo root.  ``--smoke`` runs
+a reduced workload and exits nonzero if any cached kernel is slower
+than its uncached twin or any parity check fails -- cheap enough for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.capture.rig import default_rig  # noqa: E402
+from repro.capture.scene import make_scene  # noqa: E402
+from repro.codec.video import VideoCodecConfig, VideoEncoder  # noqa: E402
+from repro.geometry.pointcloud import PointCloud  # noqa: E402
+from repro.metrics.pointssim import pointssim  # noqa: E402
+from repro.perf.capture import CachedFrameSource  # noqa: E402
+from repro.perf.features import FeatureCache  # noqa: E402
+
+
+def _bench_scene(sample_budget: int):
+    """The standard bench scene: 2 people, 4 props, band2-like motion."""
+    return make_scene(
+        "bench",
+        num_people=2,
+        num_props=4,
+        motion_amplitude_m=0.2,
+        motion_frequency_hz=0.9,
+        sample_budget=sample_budget,
+        seed=42,
+    )
+
+
+def _frames_equal(a, b) -> bool:
+    return all(
+        np.array_equal(va.depth_mm, vb.depth_mm) and np.array_equal(va.color, vb.color)
+        for va, vb in zip(a.views, b.views)
+    )
+
+
+def bench_capture(frames: int, sample_budget: int) -> dict:
+    """Incremental vs full rendering on the 10-camera bench rig."""
+    scene = _bench_scene(sample_budget)
+    rig = default_rig(num_cameras=10)
+    cached = CachedFrameSource(rig, scene, cached=True)
+    uncached = CachedFrameSource(rig, scene, cached=False)
+
+    # Parity first (also warms the projection caches, which mirrors the
+    # steady state a session reaches after its first frame).
+    for sequence in range(2):
+        if not _frames_equal(cached.capture(sequence), uncached.capture(sequence)):
+            raise AssertionError(f"capture parity failed at frame {sequence}")
+
+    start = time.perf_counter()
+    for sequence in range(2, 2 + frames):
+        uncached.capture(sequence)
+    uncached_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for sequence in range(2, 2 + frames):
+        cached.capture(sequence)
+    cached_s = time.perf_counter() - start
+
+    counters = cached.counters()
+    return {
+        "frames": frames,
+        "cameras": 10,
+        "sample_budget": sample_budget,
+        "static_fraction": round(scene.static_fraction(), 4),
+        "uncached_s": round(uncached_s, 4),
+        "cached_s": round(cached_s, 4),
+        "speedup": round(uncached_s / cached_s, 2),
+        "per_frame_uncached_ms": round(uncached_s / frames * 1e3, 2),
+        "per_frame_cached_ms": round(cached_s / frames * 1e3, 2),
+        "cache": counters.to_dict(),
+        "parity": "byte-identical",
+    }
+
+
+def bench_quality(num_points: int, num_baselines: int) -> dict:
+    """One reference cloud scored against several degraded baselines.
+
+    This is the shape of the adaptation loop's quality sweep: the truth
+    cloud's k-NN features are identical across comparisons, so the
+    FeatureCache converts (1 + B) + B feature builds into 1 + B.
+    """
+    rng = np.random.default_rng(11)
+    positions = rng.uniform(-2.0, 2.0, size=(num_points, 3))
+    colors = rng.integers(0, 256, size=(num_points, 3)).astype(np.uint8)
+    reference = PointCloud(positions, colors)
+    baselines = []
+    for level in range(num_baselines):
+        noise = 0.002 * (level + 1)
+        baselines.append(
+            PointCloud(
+                positions + rng.normal(scale=noise, size=positions.shape),
+                colors,
+            )
+        )
+
+    start = time.perf_counter()
+    exact = [pointssim(reference, cloud) for cloud in baselines]
+    uncached_s = time.perf_counter() - start
+
+    cache = FeatureCache(capacity=num_baselines + 2)
+    start = time.perf_counter()
+    via_cache = [pointssim(reference, cloud, cache=cache) for cloud in baselines]
+    # Second sweep: the steady state, every cloud already featurized.
+    via_cache_repeat = [pointssim(reference, cloud, cache=cache) for cloud in baselines]
+    cached_s = (time.perf_counter() - start) / 2.0
+
+    if exact != via_cache or exact != via_cache_repeat:
+        raise AssertionError("quality parity failed: cached PSSIM != exact PSSIM")
+
+    return {
+        "num_points": num_points,
+        "num_baselines": num_baselines,
+        "uncached_s": round(uncached_s, 4),
+        "cached_s": round(cached_s, 4),
+        "speedup": round(uncached_s / cached_s, 2),
+        "cache": cache.counters.to_dict(),
+        "parity": "exact float equality",
+    }
+
+
+def bench_codec(frames: int) -> dict:
+    """Encode a drifting RGB sequence with and without the scratch arena."""
+    rng = np.random.default_rng(23)
+    base = rng.integers(0, 256, size=(96, 128, 3)).astype(np.uint8)
+    sequence = [base]
+    for _ in range(frames - 1):
+        drift = rng.integers(-5, 6, size=base.shape)
+        sequence.append(
+            np.clip(sequence[-1].astype(np.int64) + drift, 0, 255).astype(np.uint8)
+        )
+
+    payloads = {}
+    timings = {}
+    for reuse in (False, True):
+        encoder = VideoEncoder(
+            VideoCodecConfig(gop_size=15, search_range=2, scratch_reuse=reuse)
+        )
+        start = time.perf_counter()
+        payloads[reuse] = [encoder.encode(image, qp=28)[0].payload for image in sequence]
+        timings[reuse] = time.perf_counter() - start
+
+    if payloads[True] != payloads[False]:
+        raise AssertionError("codec parity failed: scratch arena changed bitstream")
+
+    return {
+        "frames": frames,
+        "resolution": "128x96",
+        "uncached_s": round(timings[False], 4),
+        "cached_s": round(timings[True], 4),
+        "speedup": round(timings[False] / timings[True], 2),
+        "parity": "byte-identical bitstreams",
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--frames", type=int, default=30, help="capture frames to time")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced workload; exit 1 if any cached kernel is slower",
+    )
+    parser.add_argument("--out", default=None, help="output JSON path")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        frames, budget, points, baselines, codec_frames = 6, 12_000, 2_500, 3, 8
+    else:
+        frames, budget, points, baselines, codec_frames = args.frames, 20_000, 8_000, 6, 30
+
+    results = {
+        "bench": "kernel-cache fast paths (cached vs uncached, parity asserted)",
+        "mode": "smoke" if args.smoke else "full",
+        "capture": bench_capture(frames, budget),
+        "quality": bench_quality(points, baselines),
+        "codec": bench_codec(codec_frames),
+    }
+
+    capture = results["capture"]
+    quality = results["quality"]
+    combined_uncached = capture["uncached_s"] + quality["uncached_s"]
+    combined_cached = capture["cached_s"] + quality["cached_s"]
+    results["combined_capture_quality"] = {
+        "uncached_s": round(combined_uncached, 4),
+        "cached_s": round(combined_cached, 4),
+        "speedup": round(combined_uncached / combined_cached, 2),
+    }
+
+    out = Path(args.out) if args.out else Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+    out.write_text(json.dumps(results, indent=2) + "\n")
+
+    for name in ("capture", "quality", "codec"):
+        entry = results[name]
+        print(
+            f"{name:8s} uncached {entry['uncached_s']:8.3f}s  "
+            f"cached {entry['cached_s']:8.3f}s  {entry['speedup']:5.2f}x  ({entry['parity']})"
+        )
+    combo = results["combined_capture_quality"]
+    print(
+        f"{'combined':8s} uncached {combo['uncached_s']:8.3f}s  "
+        f"cached {combo['cached_s']:8.3f}s  {combo['speedup']:5.2f}x  (capture+quality)"
+    )
+    print(f"wrote {out}")
+
+    if args.smoke:
+        slower = [
+            name for name in ("capture", "quality", "codec")
+            if results[name]["speedup"] < 1.0
+        ]
+        if slower:
+            print(f"FAIL: cached kernels slower than uncached: {', '.join(slower)}")
+            return 1
+        print("smoke OK: all cached kernels at least as fast as uncached")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

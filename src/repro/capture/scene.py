@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 __all__ = [
+    "SampleBatch",
     "SurfacePrimitive",
     "Ellipsoid",
     "Box",
@@ -50,12 +51,41 @@ def _positional_shade(points: np.ndarray, scale: float = 2.0, amplitude: float =
     return (1.0 + amplitude * phase)[:, None]
 
 
+@dataclass(frozen=True)
+class SampleBatch:
+    """One primitive's sampled surface points, tagged static or dynamic.
+
+    Batch mode (:meth:`Scene.sample_batches`) is what makes incremental
+    capture possible: a *static* batch is sampled once per scene epoch
+    and returns the identical arrays every frame, so a renderer can
+    cache its per-camera projection; *dynamic* batches are resampled
+    every frame.  ``key`` identifies the batch within its scene and
+    ``epoch`` stamps the scene revision it was sampled from -- together
+    they key any downstream cache.
+    """
+
+    points: np.ndarray
+    colors: np.ndarray
+    static: bool
+    key: str
+    epoch: int = 0
+
+
 class SurfacePrimitive:
     """Base class: something with a surface to sample at time t."""
 
     def area(self) -> float:
         """Approximate surface area in square meters."""
         raise NotImplementedError
+
+    def is_static(self) -> bool:
+        """True when ``sample`` output does not depend on time.
+
+        Static primitives are the incremental-capture fast path: their
+        sample batches (and per-camera projections) are computed once
+        per scene epoch.  Default is conservative -- dynamic.
+        """
+        return False
 
     def sample(self, t: float, count: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
         """Sample ``count`` surface points at time ``t``.
@@ -83,6 +113,10 @@ class Ellipsoid(SurfacePrimitive):
         self.motion_amplitude = np.asarray(self.motion_amplitude, dtype=np.float64)
         if np.any(self.radii <= 0):
             raise ValueError("ellipsoid radii must be positive")
+
+    def is_static(self) -> bool:
+        """Static when the motion term vanishes."""
+        return self.motion_frequency_hz == 0.0 or not np.any(self.motion_amplitude)
 
     def center_at(self, t: float) -> np.ndarray:
         """Animated center position at time ``t``."""
@@ -125,6 +159,9 @@ class Box(SurfacePrimitive):
         if np.any(self.half_extents <= 0):
             raise ValueError("box half extents must be positive")
 
+    def is_static(self) -> bool:
+        return True
+
     def area(self) -> float:
         hx, hy, hz = self.half_extents
         return float(8.0 * (hx * hy + hy * hz + hx * hz))
@@ -164,6 +201,9 @@ class RoomShell(SurfacePrimitive):
     wall_height: float = 2.5
     floor_color: np.ndarray = field(default_factory=lambda: np.array([120.0, 110.0, 100.0]))
     wall_color: np.ndarray = field(default_factory=lambda: np.array([200.0, 196.0, 188.0]))
+
+    def is_static(self) -> bool:
+        return True
 
     def area(self) -> float:
         floor = 4.0 * self.half_width * self.half_depth
@@ -296,6 +336,9 @@ class Person(SurfacePrimitive):
             ),
         ]
 
+    def is_static(self) -> bool:
+        return all(part.is_static() for part in self.parts)
+
     def area(self) -> float:
         return sum(part.area() for part in self.parts)
 
@@ -334,6 +377,34 @@ class Scene:
         self._seed = int(seed)
         areas = np.array([p.area() for p in self.primitives])
         self._weights = areas / areas.sum()
+        self._epoch = 0
+        self._static_batches: dict[int, SampleBatch] = {}
+
+    @property
+    def epoch(self) -> int:
+        """Scene revision counter; bumped by :meth:`invalidate`.
+
+        Downstream caches (static sample batches, per-camera projection
+        caches) key on the epoch so a scene edit flushes them all.
+        """
+        return self._epoch
+
+    def invalidate(self) -> None:
+        """Declare the primitive set changed: bump the epoch, drop caches."""
+        self._epoch += 1
+        self._static_batches.clear()
+        areas = np.array([p.area() for p in self.primitives])
+        self._weights = areas / areas.sum()
+
+    def static_fraction(self) -> float:
+        """Fraction of the sample budget that lands on static primitives."""
+        return float(
+            sum(
+                w
+                for w, p in zip(self._weights, self.primitives)
+                if p.is_static()
+            )
+        )
 
     def sample(self, t: float) -> tuple[np.ndarray, np.ndarray]:
         """Sample the whole scene at time ``t``.
@@ -342,19 +413,73 @@ class Scene:
         ``(seed, t)`` so capture replays are reproducible, while the
         sample pattern still varies frame to frame like real sensor
         noise does.
+
+        Defined as the concatenation of :meth:`sample_batches` so the
+        monolithic and batch sampling paths see byte-identical points:
+        a session replayed with the kernel-cache layer disabled matches
+        the incremental-capture replay exactly.
         """
-        frame_key = int(round(t * 1000.0))
-        rng = np.random.default_rng((self._seed << 20) ^ frame_key)
+        batches = self.sample_batches(t)
+        points = np.concatenate([b.points for b in batches], axis=0)
+        colors = np.concatenate([b.colors for b in batches], axis=0)
+        return points, colors
+
+    def _batch_counts(self) -> np.ndarray:
+        """Per-primitive sample counts (time-independent)."""
         counts = np.floor(self._weights * self.sample_budget).astype(int)
         counts[int(np.argmax(counts))] += self.sample_budget - counts.sum()
-        chunks = [
-            prim.sample(t, int(n), rng)
-            for prim, n in zip(self.primitives, counts)
-            if n > 0
-        ]
-        points = np.concatenate([c[0] for c in chunks], axis=0)
-        colors = np.concatenate([c[1] for c in chunks], axis=0)
-        return points, np.clip(colors, 0, 255).astype(np.uint8)
+        return counts
+
+    def sample_batches(self, t: float) -> list[SampleBatch]:
+        """Sample the scene as per-primitive batches tagged static/dynamic.
+
+        This is the incremental-capture entry point.  Unlike
+        :meth:`sample`, every primitive draws from its *own* seeded RNG
+        stream, so a static primitive's batch -- sampled once per epoch
+        and cached -- stays byte-identical across frames while dynamic
+        primitives still resample deterministically in ``(seed, t)``.
+        Concatenating the batches in order yields the same
+        ``(points, colors)`` layout :meth:`sample` produces (same budget,
+        same primitive order, uint8 colors), just with decoupled random
+        streams; renderers may consume either form interchangeably.
+        """
+        frame_key = int(round(t * 1000.0)) & 0xFFFFFFFF
+        counts = self._batch_counts()
+        batches: list[SampleBatch] = []
+        for index, (prim, n) in enumerate(zip(self.primitives, counts)):
+            if n <= 0:
+                continue
+            if prim.is_static():
+                batch = self._static_batches.get(index)
+                if batch is None or batch.epoch != self._epoch or len(batch.points) != n:
+                    rng = np.random.default_rng(
+                        np.random.SeedSequence((self._seed, self._epoch, index))
+                    )
+                    points, colors = prim.sample(0.0, int(n), rng)
+                    batch = SampleBatch(
+                        points=points,
+                        colors=np.clip(colors, 0, 255).astype(np.uint8),
+                        static=True,
+                        key=f"static-{index}",
+                        epoch=self._epoch,
+                    )
+                    batch.points.setflags(write=False)
+                    batch.colors.setflags(write=False)
+                    self._static_batches[index] = batch
+            else:
+                rng = np.random.default_rng(
+                    np.random.SeedSequence((self._seed, self._epoch, index, frame_key))
+                )
+                points, colors = prim.sample(t, int(n), rng)
+                batch = SampleBatch(
+                    points=points,
+                    colors=np.clip(colors, 0, 255).astype(np.uint8),
+                    static=False,
+                    key=f"dynamic-{index}",
+                    epoch=self._epoch,
+                )
+            batches.append(batch)
+        return batches
 
 
 def make_scene(

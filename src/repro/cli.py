@@ -53,6 +53,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print the per-stage wall-clock timing breakdown after the run",
     )
+    run.add_argument(
+        "--no-kernel-cache", action="store_true",
+        help="disable the kernel-cache layer (incremental capture, quality "
+        "feature cache, codec scratch reuse); outputs are byte-identical "
+        "either way",
+    )
+    run.add_argument(
+        "--quality-max-points", type=int, default=None,
+        help="stratified-subsample clouds above this size before PointSSIM "
+        "(deterministic approximation; default: exact scoring)",
+    )
 
     export = sub.add_parser(
         "export", help="dump one capture's frames and point cloud to files"
@@ -120,6 +131,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         num_cameras=args.cameras, camera_width=64, camera_height=48,
         scene_sample_budget=20_000, gop_size=15, scheme=flags,
         jobs=args.jobs, executor=args.executor, profile=args.profile,
+        kernel_cache=not args.no_kernel_cache,
+        quality_max_points=args.quality_max_points,
     )
     if args.scheme in ("LiVo", "LiVo-NoCull", "LiVo-NoAdapt"):
         report = LiVoSession(config).run(
@@ -138,6 +151,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.profile:
         print()
         print(report.timing_table())
+        if report.cache_stats:
+            print()
+            print(report.cache_table())
     return 0
 
 

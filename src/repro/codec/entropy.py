@@ -31,7 +31,12 @@ _ZIGZAG_CACHE: dict[int, np.ndarray] = {}
 
 
 def zigzag_indices(block_size: int) -> np.ndarray:
-    """Flat indices that traverse a ``B x B`` block in zigzag order."""
+    """Flat indices that traverse a ``B x B`` block in zigzag order.
+
+    The returned array is the cached instance itself, marked read-only:
+    a caller mutating it would otherwise silently corrupt every later
+    encode/decode using the same block size.
+    """
     if block_size in _ZIGZAG_CACHE:
         return _ZIGZAG_CACHE[block_size]
     order = sorted(
@@ -39,6 +44,7 @@ def zigzag_indices(block_size: int) -> np.ndarray:
         key=lambda idx: _zigzag_key(idx // block_size, idx % block_size),
     )
     indices = np.array(order, dtype=np.int64)
+    indices.setflags(write=False)
     _ZIGZAG_CACHE[block_size] = indices
     return indices
 
@@ -90,9 +96,20 @@ def _unpack_bitfields(data: bytes, lengths: np.ndarray) -> np.ndarray:
     return codes
 
 
+# All 64 powers of two; searchsorted against this table gives the exact
+# integer bit length.  The float-log2 route misclassifies magnitudes
+# whose log2 lands on a representation boundary (e.g. values just below
+# a power of two at >= 2^53, where float64 can no longer represent the
+# integer exactly) -- a wrong bit length corrupts the mantissa masking
+# and the decoder reconstructs a different magnitude.
+_POW2 = np.uint64(1) << np.arange(64, dtype=np.uint64)
+
+
 def _bit_length(values: np.ndarray) -> np.ndarray:
-    """Bit length of positive integers, vectorized."""
-    return np.floor(np.log2(values.astype(np.float64))).astype(np.int64) + 1
+    """Exact bit length of positive integers, vectorized."""
+    return np.searchsorted(_POW2, values.astype(np.uint64), side="right").astype(
+        np.int64
+    )
 
 
 # ----------------------------------------------------------------------

@@ -32,16 +32,30 @@ def search_offsets(search_range: int) -> list[tuple[int, int]]:
     return offsets
 
 
-def shifted_planes(reference: np.ndarray, offsets: list[tuple[int, int]]) -> np.ndarray:
+def shifted_planes(
+    reference: np.ndarray,
+    offsets: list[tuple[int, int]],
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Stack of the reference plane shifted by each offset (edge clamped).
 
     Output shape ``(num_offsets, H, W)``; entry k is the predictor image
-    for motion vector ``offsets[k]``.
+    for motion vector ``offsets[k]``.  ``out`` supplies a preallocated
+    stack of that shape (e.g. from a
+    :class:`~repro.perf.scratch.ScratchArena`); every entry is fully
+    overwritten, so a reused buffer cannot leak state between calls.
     """
     height, width = reference.shape
     radius = max((max(abs(dy), abs(dx)) for dy, dx in offsets), default=0)
     padded = np.pad(reference, radius, mode="edge") if radius else reference
-    stack = np.empty((len(offsets), height, width), dtype=np.float64)
+    if out is None:
+        stack = np.empty((len(offsets), height, width), dtype=np.float64)
+    else:
+        if out.shape != (len(offsets), height, width):
+            raise ValueError(
+                f"out buffer shape {out.shape} != {(len(offsets), height, width)}"
+            )
+        stack = out
     for index, (dy, dx) in enumerate(offsets):
         stack[index] = padded[radius + dy : radius + dy + height,
                               radius + dx : radius + dx + width]

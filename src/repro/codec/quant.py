@@ -60,17 +60,40 @@ def weight_matrix(block_size: int, strength: float = 1.0) -> np.ndarray:
     return 1.0 + strength * 2.0 * radial
 
 
-def quantize(coefficients: np.ndarray, qp: float, weights: np.ndarray | None = None) -> np.ndarray:
-    """Dead-zone quantize a coefficient stack to int32 levels."""
-    step = qp_to_step(qp)
-    scaled = coefficients / step if weights is None else coefficients / (step * weights)
+def quantize(
+    coefficients: np.ndarray,
+    qp: float,
+    weights: np.ndarray | None = None,
+    scale=None,
+) -> np.ndarray:
+    """Dead-zone quantize a coefficient stack to int32 levels.
+
+    ``scale`` lets a caller supply the precomputed divisor -- ``step``
+    when ``weights`` is None, ``step * weights`` otherwise (see
+    :meth:`repro.perf.scratch.ScratchArena.quant_scale`).  It must equal
+    what this function would compute; it exists purely to skip the
+    recomputation, so results are bit-identical either way.
+    """
+    if scale is None:
+        step = qp_to_step(qp)
+        scale = step if weights is None else step * weights
+    scaled = coefficients / scale
     levels = np.sign(scaled) * np.floor(np.abs(scaled) + DEAD_ZONE_OFFSET)
     return levels.astype(np.int32)
 
 
-def dequantize(levels: np.ndarray, qp: float, weights: np.ndarray | None = None) -> np.ndarray:
-    """Reconstruct coefficients from quantization levels."""
-    step = qp_to_step(qp)
-    if weights is None:
-        return levels.astype(np.float64) * step
-    return levels.astype(np.float64) * (step * weights)
+def dequantize(
+    levels: np.ndarray,
+    qp: float,
+    weights: np.ndarray | None = None,
+    scale=None,
+) -> np.ndarray:
+    """Reconstruct coefficients from quantization levels.
+
+    ``scale`` mirrors :func:`quantize`: the precomputed multiplier,
+    identical in value to the internally derived one.
+    """
+    if scale is None:
+        step = qp_to_step(qp)
+        scale = step if weights is None else step * weights
+    return levels.astype(np.float64) * scale

@@ -88,6 +88,14 @@ class SessionConfig:
     executor: str = "auto"
     profile: bool = False
 
+    # Kernel-cache layer (repro.perf; see DESIGN.md section 9).  On by
+    # default because every cached path is byte-identical to its
+    # uncached twin; ``--no-kernel-cache`` is the escape hatch.
+    # ``quality_max_points`` enables the *approximate* PointSSIM
+    # subsample mode (deterministic, seeded); None keeps scoring exact.
+    kernel_cache: bool = True
+    quality_max_points: int | None = None
+
     # Evaluation.
     quality_every: int = 3        # PointSSIM every Nth rendered frame
     trace_scale: float | None = None  # None = auto from raw frame size
@@ -115,6 +123,8 @@ class SessionConfig:
             raise ValueError(
                 "executor must be one of auto/serial/thread/process"
             )
+        if self.quality_max_points is not None and self.quality_max_points < 1:
+            raise ValueError("quality_max_points must be at least 1 (or None)")
 
     @property
     def frame_interval_s(self) -> float:

@@ -48,11 +48,17 @@ class LiVoReceiver:
         self.color_tiler = Tiler(self.layout, is_color=True)
         self.depth_tiler = Tiler(self.layout, is_color=False)
         self.color_decoder = VideoDecoder(
-            VideoCodecConfig(gop_size=config.gop_size, search_range=config.codec_search_range)
+            VideoCodecConfig(
+                gop_size=config.gop_size,
+                search_range=config.codec_search_range,
+                scratch_reuse=config.kernel_cache,
+            )
         )
         self.depth_decoder = VideoDecoder(
             VideoCodecConfig.for_depth(
-                gop_size=config.gop_size, search_range=config.codec_search_range
+                gop_size=config.gop_size,
+                search_range=config.codec_search_range,
+                scratch_reuse=config.kernel_cache,
             )
         )
         self._last_color_sequence: int | None = None

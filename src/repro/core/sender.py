@@ -124,10 +124,14 @@ class LiVoSender:
         self.depth_tiler = Tiler(self.layout, is_color=False)
 
         self._color_codec = VideoCodecConfig(
-            gop_size=config.gop_size, search_range=config.codec_search_range
+            gop_size=config.gop_size,
+            search_range=config.codec_search_range,
+            scratch_reuse=config.kernel_cache,
         )
         self._depth_codec = VideoCodecConfig.for_depth(
-            gop_size=config.gop_size, search_range=config.codec_search_range
+            gop_size=config.gop_size,
+            search_range=config.codec_search_range,
+            scratch_reuse=config.kernel_cache,
         )
         self.color_encoder = VideoEncoder(self._color_codec)
         self.depth_encoder = VideoEncoder(self._depth_codec)
@@ -391,6 +395,23 @@ class LiVoSender:
             fail_encode=fail_encode,
             color_budget_scale=color_budget_scale,
         )
+
+    def cache_counters(self):
+        """Merged scratch-arena counters of the in-process encoders.
+
+        Worker-hosted encoders keep their arenas in their own processes
+        (caches are process-local; DESIGN.md section 9), so with remote
+        encoders this reports zeros rather than guessing.
+        """
+        from repro.perf.counters import CacheCounters
+
+        merged = CacheCounters("codec_scratch")
+        if not self._remote_encoders:
+            for encoder in (self.color_encoder, self.depth_encoder):
+                counters = encoder.cache_counters
+                if counters is not None:
+                    merged.merge(counters)
+        return merged
 
     def close(self) -> None:
         """Release any encoder workers."""

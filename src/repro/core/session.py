@@ -51,6 +51,8 @@ from repro.geometry.frustum import Frustum
 from repro.geometry.pointcloud import PointCloud
 from repro.geometry.voxel import voxel_downsample
 from repro.metrics.pointssim import pointssim
+from repro.perf.capture import CachedFrameSource
+from repro.perf.features import FeatureCache
 from repro.prediction.pose import PoseTrace
 from repro.prediction.predictor import ViewingDevice
 from repro.runtime.executors import Executor, make_executor
@@ -108,15 +110,27 @@ def _auto_trace_scale(frame: MultiViewFrame) -> float:
 
 _CAPTURE_CTX: dict = {}
 
+# Quality-scoring context, same fork-inheritance pattern: the feature
+# cache and subsample knobs are process-local (each worker grows its own
+# cache; DESIGN.md section 9).
+_QUALITY_CTX: dict = {}
+
 
 def _capture_chunk(task: tuple) -> list:
     """Render a contiguous chunk of cameras for one capture tick.
 
     Runs inside a worker: re-samples the scene (deterministic in the
     timestamp, so every worker sees the same surface points) and splats
-    it through its assigned cameras.
+    it through its assigned cameras.  With the kernel cache on, a
+    :class:`~repro.perf.capture.CachedFrameSource` in the context skips
+    resampling and reprojecting the static batches -- each worker's
+    inherited source warms its own projection caches, deterministically,
+    so the fan-out stays byte-identical to the serial path.
     """
     camera_indices, sequence, timestamp_s = task
+    source = _CAPTURE_CTX.get("source")
+    if source is not None:
+        return source.capture_views(list(camera_indices), sequence)
     scene = _CAPTURE_CTX["scene"]
     cameras = _CAPTURE_CTX["cameras"]
     points, colors = scene.sample(timestamp_s)
@@ -141,15 +155,23 @@ def _chunk_indices(count: int, chunks: int) -> list[list[int]]:
 
 
 def _capture_frame(
-    rig: CaptureRig, scene: Scene, sequence: int, executor: Executor | None
+    rig: CaptureRig,
+    scene: Scene,
+    sequence: int,
+    executor: Executor | None,
+    source: CachedFrameSource | None = None,
 ) -> MultiViewFrame:
     """One synchronized multi-view capture, fanned out when parallel.
 
     The per-camera splats are independent and deterministic, so the
     fan-out is byte-identical to :meth:`CaptureRig.capture` -- chunks
-    are contiguous and reassembled in camera order.
+    are contiguous and reassembled in camera order.  ``source`` routes
+    the work through the incremental kernel-cache path (it must also be
+    in ``_CAPTURE_CTX`` for the parallel branch).
     """
     if executor is None or not executor.parallel:
+        if source is not None:
+            return source.capture(sequence)
         return rig.capture(scene, sequence)
     timestamp = sequence * rig.frame_interval_s
     tasks = [
@@ -170,11 +192,18 @@ def _quality_job(
 ):
     """Pure quality-scoring job: build the ground truth, score the shown
     cloud against it.  No session state touched, so it can run in any
-    worker; returns None when the truth is empty (nothing to score)."""
+    worker; returns None when the truth is empty (nothing to score).
+    The feature cache / subsample knobs come from ``_QUALITY_CTX``
+    (process-local, fork-inherited like ``_CAPTURE_CTX``)."""
     truth = ground_truth_cloud(frame, cameras, actual_frustum, render_voxel_m)
     if truth.is_empty:
         return None
-    return pointssim(truth, shown)
+    return pointssim(
+        truth,
+        shown,
+        cache=_QUALITY_CTX.get("cache"),
+        max_points=_QUALITY_CTX.get("max_points"),
+    )
 
 
 @dataclass
@@ -212,6 +241,38 @@ class _SessionBase:
         return make_executor(
             jobs=self.config.jobs, kind=self.config.executor, on_crash=on_crash
         )
+
+    def _make_source(
+        self, rig: CaptureRig, scene: Scene
+    ) -> CachedFrameSource | None:
+        """The kernel-cached capture source, or None when disabled."""
+        if not self.config.kernel_cache:
+            return None
+        return CachedFrameSource(rig, scene)
+
+    def _attach_caches(self, source: CachedFrameSource | None) -> FeatureCache | None:
+        """Publish capture/quality cache context for this run's workers."""
+        _CAPTURE_CTX["source"] = source
+        cache = FeatureCache() if self.config.kernel_cache else None
+        _QUALITY_CTX["cache"] = cache
+        _QUALITY_CTX["max_points"] = self.config.quality_max_points
+        return cache
+
+    def _attach_report_caches(
+        self,
+        report: SessionReport,
+        source: CachedFrameSource | None,
+        quality_cache: FeatureCache | None,
+    ) -> None:
+        """Attach capture/quality cache counters to a finished report."""
+        if not self.config.kernel_cache:
+            return
+        cache_stats = {}
+        if source is not None:
+            cache_stats["capture_projection"] = source.counters().to_dict()
+        if quality_cache is not None:
+            cache_stats["quality_features"] = quality_cache.counters.to_dict()
+        report.attach_cache_stats(cache_stats)
 
     def _scaled_trace(
         self, trace: BandwidthTrace, first_frame: MultiViewFrame
@@ -276,7 +337,8 @@ class LiVoSession(_SessionBase):
         events: list[FaultEvent] = []
         boundary = StageFaultBoundary(injector, events)
 
-        first = rig.capture(scene, 0)
+        source = self._make_source(rig, scene)
+        first = source.capture(0) if source is not None else rig.capture(scene, 0)
         scaled_trace, scale = self._scaled_trace(bandwidth_trace, first)
         link = EmulatedLink(
             scaled_trace,
@@ -313,6 +375,7 @@ class LiVoSession(_SessionBase):
         executor = self._make_executor()
         _CAPTURE_CTX["scene"] = scene
         _CAPTURE_CTX["cameras"] = rig.cameras
+        quality_cache = self._attach_caches(source)
         sender.attach_executor(executor)
 
         captures: dict[int, MultiViewFrame] = {}
@@ -333,7 +396,7 @@ class LiVoSession(_SessionBase):
             tick.frame = (
                 first
                 if tick.sequence == 0
-                else _capture_frame(rig, scene, tick.sequence, executor)
+                else _capture_frame(rig, scene, tick.sequence, executor, source)
             )
             return tick
 
@@ -643,6 +706,13 @@ class LiVoSession(_SessionBase):
                 {s.name: s.timing for s in (decode_stage, quality_stage)},
             )
         )
+        if config.kernel_cache:
+            cache_stats = {"codec_scratch": sender.cache_counters().to_dict()}
+            if source is not None:
+                cache_stats["capture_projection"] = source.counters().to_dict()
+            if quality_cache is not None:
+                cache_stats["quality_features"] = quality_cache.counters.to_dict()
+            report.attach_cache_stats(cache_stats)
         return report
 
 
@@ -663,7 +733,8 @@ class DracoOracleSession(_SessionBase):
             raise ValueError("num_frames must be positive")
         config = self.config
         rig = self._make_rig()
-        first = rig.capture(scene, 0)
+        source = self._make_source(rig, scene)
+        first = source.capture(0) if source is not None else rig.capture(scene, 0)
         scaled_trace, scale = self._scaled_trace(bandwidth_trace, first)
 
         stride = max(1, int(round(config.fps / oracle_fps)))
@@ -690,10 +761,13 @@ class DracoOracleSession(_SessionBase):
         executor = self._make_executor()
         _CAPTURE_CTX["scene"] = scene
         _CAPTURE_CTX["cameras"] = rig.cameras
+        quality_cache = self._attach_caches(source)
 
         capture_stage = Stage(
             "capture",
-            lambda seq: first if seq == 0 else _capture_frame(rig, scene, seq, executor),
+            lambda seq: first
+            if seq == 0
+            else _capture_frame(rig, scene, seq, executor, source),
         )
         cull_stage = Stage("cull", lambda args: culled_cloud(*args))
         encode_stage = Stage(
@@ -749,7 +823,12 @@ class DracoOracleSession(_SessionBase):
                                     frame, rig.cameras, actual, config.render_voxel_m
                                 )
                                 if not truth.is_empty:
-                                    score = pointssim(truth, shown)
+                                    score = pointssim(
+                                        truth,
+                                        shown,
+                                        cache=quality_cache,
+                                        max_points=config.quality_max_points,
+                                    )
                                     record.pssim_geometry = score.geometry
                                     record.pssim_color = score.color
 
@@ -776,6 +855,7 @@ class DracoOracleSession(_SessionBase):
                 for s in (capture_stage, cull_stage, encode_stage, quality_stage)
             }
         )
+        self._attach_report_caches(report, source, quality_cache)
         return report
 
 
@@ -796,7 +876,8 @@ class MeshReduceSession(_SessionBase):
             raise ValueError("num_frames must be positive")
         config = self.config
         rig = self._make_rig()
-        first = rig.capture(scene, 0)
+        source = self._make_source(rig, scene)
+        first = source.capture(0) if source is not None else rig.capture(scene, 0)
         scaled_trace, scale = self._scaled_trace(bandwidth_trace, first)
 
         profile = MeshReduceProfile.build([first], rig.cameras)
@@ -809,10 +890,13 @@ class MeshReduceSession(_SessionBase):
         executor = self._make_executor()
         _CAPTURE_CTX["scene"] = scene
         _CAPTURE_CTX["cameras"] = rig.cameras
+        quality_cache = self._attach_caches(source)
 
         capture_stage = Stage(
             "capture",
-            lambda seq: first if seq == 0 else _capture_frame(rig, scene, seq, executor),
+            lambda seq: first
+            if seq == 0
+            else _capture_frame(rig, scene, seq, executor, source),
         )
         compress_stage = Stage(
             "compress", lambda args: pipeline.offer_frame(args[0], args[1])
@@ -860,7 +944,12 @@ class MeshReduceSession(_SessionBase):
                                 shown = sampled.select(
                                     actual.contains(sampled.positions)
                                 )
-                                score = pointssim(truth, shown)
+                                score = pointssim(
+                                    truth,
+                                    shown,
+                                    cache=quality_cache,
+                                    max_points=config.quality_max_points,
+                                )
                                 record.pssim_geometry = score.geometry
                                 record.pssim_color = score.color
 
@@ -887,4 +976,5 @@ class MeshReduceSession(_SessionBase):
                 for s in (capture_stage, compress_stage, quality_stage)
             }
         )
+        self._attach_report_caches(report, source, quality_cache)
         return report

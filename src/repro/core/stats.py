@@ -97,6 +97,27 @@ class SessionReport:
             return {}
         return {name: t.to_dict() for name, t in self._stage_timings.items()}
 
+    # Kernel-cache hit/miss counters, same non-field pattern as stage
+    # timings: run-varying instrumentation, invisible to asdict.
+    _cache_stats = None
+
+    def attach_cache_stats(self, stats: dict) -> None:
+        """Attach the kernel-cache layer's per-cache counter summaries."""
+        self._cache_stats = dict(stats)
+
+    @property
+    def cache_stats(self) -> dict | None:
+        """Per-cache ``{hits, misses, hit_rate}`` dicts, or None."""
+        return self._cache_stats
+
+    def cache_table(self) -> str:
+        """Human-readable kernel-cache counter table (``--profile``)."""
+        if not self._cache_stats:
+            return "(no kernel-cache counters recorded)"
+        from repro.runtime.profile import format_cache_stats
+
+        return format_cache_stats(self._cache_stats)
+
     # ------------------------------------------------------------------
     # Stalls and frame rate
     # ------------------------------------------------------------------

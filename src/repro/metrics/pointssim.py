@@ -17,6 +17,16 @@ As in the paper's usage, scores are reported on a 0-100 scale where
 geometry score additionally folds in a normalized point-to-point
 proximity term so rigid drifts (which leave local dispersion intact)
 are still penalized.
+
+The metric is split into :func:`precompute_features` (the expensive
+half: KD-tree build + k-NN feature extraction, ~O(n log n)) and
+:func:`pointssim_from_features` (the comparison half), so a cloud
+scored more than once -- a reference against several baselines, both
+directions of the symmetric pooling -- builds its features exactly
+once.  :func:`pointssim` remains the one-shot entry point and accepts
+an optional :class:`~repro.perf.features.FeatureCache`; with a cache
+the scores are bit-for-bit identical because the cached features are
+the same arrays the uncached path would compute.
 """
 
 from __future__ import annotations
@@ -28,7 +38,14 @@ from scipy.spatial import cKDTree
 
 from repro.geometry.pointcloud import PointCloud
 
-__all__ = ["PSSIMResult", "pointssim"]
+__all__ = [
+    "PSSIMResult",
+    "CloudFeatures",
+    "precompute_features",
+    "pointssim_from_features",
+    "stratified_subsample",
+    "pointssim",
+]
 
 _LUMA = np.array([0.299, 0.587, 0.114])
 
@@ -39,6 +56,29 @@ class PSSIMResult:
 
     geometry: float
     color: float
+
+
+@dataclass(frozen=True)
+class CloudFeatures:
+    """Everything PointSSIM needs from one cloud, computed once.
+
+    ``geometry``/``color`` are the per-point local features, ``tree``
+    the KD-tree over ``positions`` used for cross-cloud association,
+    and ``lo``/``hi`` the cloud bounds (the reference's bbox diagonal
+    sets the default proximity scale).
+    """
+
+    positions: np.ndarray
+    geometry: np.ndarray
+    color: np.ndarray
+    tree: cKDTree
+    lo: np.ndarray
+    hi: np.ndarray
+    k: int
+
+    @property
+    def num_points(self) -> int:
+        return len(self.positions)
 
 
 def _luminance(colors: np.ndarray) -> np.ndarray:
@@ -73,11 +113,89 @@ def _feature_similarity(fa: np.ndarray, fb: np.ndarray) -> np.ndarray:
     return np.clip(similarity, 0.0, 1.0)
 
 
+def precompute_features(cloud: PointCloud, k: int = 9) -> CloudFeatures:
+    """Build a cloud's reusable PointSSIM features (the expensive half)."""
+    if cloud.is_empty:
+        raise ValueError("cannot precompute features of an empty cloud")
+    geometry, color, tree = _local_features(
+        cloud.positions, _luminance(cloud.colors), k
+    )
+    lo, hi = cloud.bounds()
+    return CloudFeatures(
+        positions=cloud.positions,
+        geometry=geometry,
+        color=color,
+        tree=tree,
+        lo=lo,
+        hi=hi,
+        k=k,
+    )
+
+
+def pointssim_from_features(
+    reference: CloudFeatures,
+    distorted: CloudFeatures,
+    proximity_scale: float | None = None,
+) -> PSSIMResult:
+    """PointSSIM from precomputed features (the comparison half).
+
+    Identical float math to :func:`pointssim` on the same clouds --
+    the features *are* the intermediates the one-shot path computes.
+    """
+    diagonal = float(np.linalg.norm(reference.hi - reference.lo))
+    if proximity_scale is None:
+        proximity_scale = max(diagonal * 0.015, 1e-6)
+
+    scores_geometry = []
+    scores_color = []
+    for a, b in ((reference, distorted), (distorted, reference)):
+        nn_distance, nn_index = b.tree.query(a.positions)
+        geometry_similarity = _feature_similarity(a.geometry, b.geometry[nn_index])
+        # Gaussian proximity: errors well below the scale (e.g. voxel
+        # jitter) barely register; errors beyond it are punished hard.
+        proximity = np.exp(-((nn_distance / proximity_scale) ** 2))
+        scores_geometry.append(float((geometry_similarity * proximity).mean()))
+        color_similarity = _feature_similarity(a.color, b.color[nn_index])
+        scores_color.append(float(color_similarity.mean()))
+
+    return PSSIMResult(
+        geometry=100.0 * float(np.mean(scores_geometry)),
+        color=100.0 * float(np.mean(scores_color)),
+    )
+
+
+def stratified_subsample(
+    cloud: PointCloud, max_points: int, seed: int = 0
+) -> PointCloud:
+    """Deterministic stratified subsample down to ``max_points``.
+
+    The index range is split into ``max_points`` equal strata and one
+    seeded-uniform pick drawn from each, preserving the cloud's spatial
+    coverage (points are stored in primitive/scan order, so strata are
+    spatially coherent).  Exact pass-through when the cloud is already
+    small enough: callers get subsampling only when it matters.
+    """
+    if max_points < 1:
+        raise ValueError("max_points must be at least 1")
+    n = cloud.num_points
+    if n <= max_points:
+        return cloud
+    rng = np.random.default_rng(np.random.SeedSequence((seed, n, max_points)))
+    edges = np.linspace(0, n, max_points + 1)
+    lows = np.floor(edges[:-1]).astype(np.int64)
+    highs = np.maximum(np.floor(edges[1:]).astype(np.int64), lows + 1)
+    picks = lows + rng.integers(0, highs - lows)
+    return cloud.select(np.minimum(picks, n - 1))
+
+
 def pointssim(
     reference: PointCloud,
     distorted: PointCloud,
     k: int = 9,
     proximity_scale: float | None = None,
+    cache=None,
+    max_points: int | None = None,
+    seed: int = 0,
 ) -> PSSIMResult:
     """PointSSIM between a reference and a distorted cloud.
 
@@ -88,6 +206,14 @@ def pointssim(
         proximity_scale: length scale (m) for the geometric proximity
             term; defaults to 1.5 percent of the reference bbox diagonal
             (roughly twice the render voxel for room-scale scenes).
+        cache: optional :class:`~repro.perf.features.FeatureCache`;
+            feature builds for content already seen are skipped.  Scores
+            are bit-identical with or without a cache.
+        max_points: optional approximation knob -- clouds larger than
+            this are deterministically stratified-subsampled before
+            scoring (seeded by ``seed``).  Off by default; exact when
+            both clouds already fit.
+        seed: RNG seed for the subsample mode.
 
     Returns:
         Geometry and color scores on 0-100.  An empty distorted cloud
@@ -98,34 +224,14 @@ def pointssim(
     if distorted.is_empty:
         return PSSIMResult(0.0, 0.0)
 
-    lo, hi = reference.bounds()
-    diagonal = float(np.linalg.norm(hi - lo))
-    if proximity_scale is None:
-        proximity_scale = max(diagonal * 0.015, 1e-6)
+    if max_points is not None:
+        reference = stratified_subsample(reference, max_points, seed)
+        distorted = stratified_subsample(distorted, max_points, seed)
 
-    ref_geometry, ref_color, ref_tree = _local_features(
-        reference.positions, _luminance(reference.colors), k
-    )
-    dist_geometry, dist_color, dist_tree = _local_features(
-        distorted.positions, _luminance(distorted.colors), k
-    )
-
-    scores_geometry = []
-    scores_color = []
-    for fa_geometry, fa_color, a_positions, b_tree, fb_geometry, fb_color in (
-        (ref_geometry, ref_color, reference.positions, dist_tree, dist_geometry, dist_color),
-        (dist_geometry, dist_color, distorted.positions, ref_tree, ref_geometry, ref_color),
-    ):
-        nn_distance, nn_index = b_tree.query(a_positions)
-        geometry_similarity = _feature_similarity(fa_geometry, fb_geometry[nn_index])
-        # Gaussian proximity: errors well below the scale (e.g. voxel
-        # jitter) barely register; errors beyond it are punished hard.
-        proximity = np.exp(-((nn_distance / proximity_scale) ** 2))
-        scores_geometry.append(float((geometry_similarity * proximity).mean()))
-        color_similarity = _feature_similarity(fa_color, fb_color[nn_index])
-        scores_color.append(float(color_similarity.mean()))
-
-    return PSSIMResult(
-        geometry=100.0 * float(np.mean(scores_geometry)),
-        color=100.0 * float(np.mean(scores_color)),
-    )
+    if cache is not None:
+        ref_features = cache.features(reference, k)
+        dist_features = cache.features(distorted, k)
+    else:
+        ref_features = precompute_features(reference, k)
+        dist_features = precompute_features(distorted, k)
+    return pointssim_from_features(ref_features, dist_features, proximity_scale)

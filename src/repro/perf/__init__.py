@@ -1,0 +1,54 @@
+"""Kernel-cache layer: incremental computation and buffer reuse.
+
+The serial per-frame budget is dominated by the capture splat renderer
+and the PointSSIM quality kernel (see BENCH_runtime.json); both redo
+work that is identical frame to frame.  This package holds the caches
+that remove the redundancy without changing a single output byte:
+
+- :class:`~repro.perf.capture.CachedFrameSource` -- incremental capture:
+  static scene points are projected through each camera once and their
+  splat arrays reused every frame (``repro.capture.renderer.ProjectionCache``
+  does the per-camera caching).
+- :class:`~repro.perf.features.FeatureCache` -- PointSSIM features
+  (KD-tree + per-point geometry/color features) memoized by a cheap
+  content fingerprint, so a reference cloud scored against several
+  baselines builds its tree once.
+- :class:`~repro.perf.scratch.ScratchArena` -- codec scratch reuse:
+  memoized quantization matrices / motion offset tables and reusable
+  motion-search buffers.
+
+Caches are process-local by design: a fork-process executor's workers
+each grow their own copies (see DESIGN.md section 9), which keeps the
+layer coherency-free and byte-identical to the uncached paths.
+"""
+
+from repro.perf.counters import CacheCounters
+from repro.perf.features import FeatureCache
+from repro.perf.fingerprint import array_fingerprint, cloud_fingerprint
+
+__all__ = [
+    "CachedFrameSource",
+    "CacheCounters",
+    "FeatureCache",
+    "ScratchArena",
+    "array_fingerprint",
+    "cloud_fingerprint",
+]
+
+# CachedFrameSource and ScratchArena pull in the renderer and codec
+# modules, which themselves use repro.perf.counters -- importing them
+# eagerly here would close an import cycle.  PEP 562 keeps them lazy.
+_LAZY = {
+    "CachedFrameSource": ("repro.perf.capture", "CachedFrameSource"),
+    "ScratchArena": ("repro.perf.scratch", "ScratchArena"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

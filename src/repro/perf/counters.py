@@ -1,0 +1,53 @@
+"""Hit/miss accounting shared by every kernel cache.
+
+Counters are deliberately dumb -- two integers -- so recording a hit
+costs nothing measurable on the hot path.  They surface in the
+``--profile`` output next to the stage-timing table, which is how a
+regressed cache (0% hit rate) becomes visible instead of silently
+falling back to the slow path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheCounters"]
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss tally for one cache."""
+
+    name: str
+    hits: int = 0
+    misses: int = 0
+
+    def hit(self, count: int = 1) -> None:
+        self.hits += count
+
+    def miss(self, count: int = 1) -> None:
+        self.misses += count
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups recorded."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when never used)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def merge(self, other: "CacheCounters") -> None:
+        """Fold another counter's tallies into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }

@@ -1,0 +1,70 @@
+"""LRU cache for PointSSIM cloud features.
+
+PointSSIM spends most of its time building each cloud's KD-tree and
+per-point neighborhood features.  When the same cloud is scored more
+than once -- a reference frame compared against several baselines, or
+both directions of the symmetric pooling -- that build is pure waste.
+The cache keys features by a content fingerprint
+(:func:`~repro.perf.fingerprint.cloud_fingerprint`), so callers never
+have to thread identity through their code: scoring the same *content*
+twice hits regardless of where the arrays came from.
+
+The cache is process-local.  Fork-process executor workers each inherit
+an empty (or partially warm) copy at fork time and grow it privately;
+features never cross a pipe (see DESIGN.md section 9).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.perf.counters import CacheCounters
+
+__all__ = ["FeatureCache"]
+
+DEFAULT_CAPACITY = 8
+
+
+class FeatureCache:
+    """LRU map from cloud fingerprint to precomputed PointSSIM features."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self.counters = CacheCounters("quality_features")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def features(self, cloud, k: int):
+        """Features for ``cloud`` at neighborhood size ``k``, cached.
+
+        Import is deferred to call time: this module must stay importable
+        from :mod:`repro.metrics.pointssim` without a cycle.
+        """
+        from repro.metrics.pointssim import precompute_features
+
+        key = self._key(cloud, k)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.counters.hit()
+            return entry
+        self.counters.miss()
+        entry = precompute_features(cloud, k)
+        self._entries[key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return entry
+
+    @staticmethod
+    def _key(cloud, k: int) -> tuple:
+        from repro.perf.fingerprint import cloud_fingerprint
+
+        return (cloud_fingerprint(cloud), k)
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep their history)."""
+        self._entries.clear()

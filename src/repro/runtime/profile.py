@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.runtime.stage import StageTiming
 
-__all__ = ["format_stage_profile", "merge_timings"]
+__all__ = ["format_stage_profile", "format_cache_stats", "merge_timings"]
 
 
 def merge_timings(*timing_maps: dict[str, StageTiming]) -> dict[str, StageTiming]:
@@ -49,4 +49,20 @@ def format_stage_profile(
     total = sum(t.total_s for t in timings.values())
     lines.append("-" * len(header))
     lines.append(f"{'sum':<16s} {'':>5s} {'':>9s} {'':>9s} {'':>9s} {'':>9s} {total:>9.3f}")
+    return "\n".join(lines)
+
+
+def format_cache_stats(stats: dict[str, dict]) -> str:
+    """Render the kernel-cache hit/miss counter table.
+
+    ``stats`` maps cache name to a ``{hits, misses, hit_rate}`` dict
+    (see :meth:`repro.perf.counters.CacheCounters.to_dict`).
+    """
+    header = f"{'cache':<22s} {'hits':>8s} {'misses':>8s} {'hit rate':>9s}"
+    lines = [header, "-" * len(header)]
+    for name, entry in stats.items():
+        lines.append(
+            f"{name:<22s} {entry['hits']:>8d} {entry['misses']:>8d} "
+            f"{entry['hit_rate'] * 100.0:>8.1f}%"
+        )
     return "\n".join(lines)

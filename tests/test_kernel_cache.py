@@ -1,0 +1,408 @@
+"""Parity suite for the kernel-cache layer (repro.perf).
+
+Every cache in the layer promises *byte-identical* output to its
+uncached twin; these tests hold the layer to that promise:
+
+- incremental capture vs full re-render across a dynamic scene,
+- cached PointSSIM features vs the one-shot metric, to full precision,
+- determinism of the stratified subsample mode,
+- scratch-arena bitstreams vs plain encoder bitstreams,
+
+plus regression tests for the satellite fixes (read-only zigzag cache,
+exact integer bit lengths, fill_holes buffer reuse).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.capture.renderer import ProjectionCache, fill_holes, render_rgbd
+from repro.capture.rig import default_rig
+from repro.capture.scene import Scene, make_scene
+from repro.codec.entropy import _bit_length, decode_levels, encode_levels, zigzag_indices
+from repro.codec.video import VideoCodecConfig, VideoDecoder, VideoEncoder
+from repro.core.config import SessionConfig
+from repro.core.session import LiVoSession
+from repro.geometry.pointcloud import PointCloud
+from repro.metrics.pointssim import (
+    pointssim,
+    pointssim_from_features,
+    precompute_features,
+    stratified_subsample,
+)
+from repro.perf.capture import CachedFrameSource
+from repro.perf.features import FeatureCache
+from repro.perf.fingerprint import array_fingerprint, cloud_fingerprint
+from repro.prediction.pose import user_traces_for_video
+from repro.transport.traces import trace_1
+
+
+def _test_scene(sample_budget: int = 15_000) -> Scene:
+    return make_scene(
+        "cache-test",
+        num_people=2,
+        num_props=3,
+        motion_amplitude_m=0.2,
+        motion_frequency_hz=0.9,
+        sample_budget=sample_budget,
+        seed=7,
+    )
+
+
+def _frames_equal(a, b) -> bool:
+    return all(
+        np.array_equal(va.depth_mm, vb.depth_mm) and np.array_equal(va.color, vb.color)
+        for va, vb in zip(a.views, b.views)
+    )
+
+
+# ----------------------------------------------------------------------
+# Incremental capture parity
+# ----------------------------------------------------------------------
+
+
+class TestIncrementalCapture:
+    def test_cached_capture_byte_identical_across_dynamic_scene(self):
+        scene = _test_scene()
+        rig = default_rig(num_cameras=5)
+        cached = CachedFrameSource(rig, scene, cached=True)
+        uncached = CachedFrameSource(rig, scene, cached=False)
+        for sequence in range(6):
+            assert _frames_equal(cached.capture(sequence), uncached.capture(sequence))
+
+    def test_static_splats_are_cached(self):
+        scene = _test_scene()
+        rig = default_rig(num_cameras=3)
+        source = CachedFrameSource(rig, scene)
+        for sequence in range(4):
+            source.capture(sequence)
+        counters = source.counters()
+        # First frame misses every static batch per camera; later frames
+        # hit all of them.
+        assert counters.misses > 0
+        assert counters.hits == 3 * counters.misses
+
+    def test_scene_invalidate_flushes_caches(self):
+        scene = _test_scene()
+        rig = default_rig(num_cameras=2)
+        source = CachedFrameSource(rig, scene)
+        before = source.capture(0)
+        scene.invalidate()
+        after = source.capture(0)
+        # New epoch reseeds the static batches: frames must change, and
+        # must match a fresh uncached render of the new epoch.
+        assert not _frames_equal(before, after)
+        reference = CachedFrameSource(rig, scene, cached=False)
+        assert _frames_equal(after, reference.capture(0))
+
+    def test_capture_views_matches_full_capture(self):
+        scene = _test_scene()
+        rig = default_rig(num_cameras=4)
+        source = CachedFrameSource(rig, scene)
+        full = source.capture(2)
+        chunk = CachedFrameSource(rig, scene).capture_views([1, 3], 2)
+        assert np.array_equal(chunk[0].depth_mm, full.views[1].depth_mm)
+        assert np.array_equal(chunk[1].color, full.views[3].color)
+
+    def test_projection_cache_render_matches_render_rgbd(self):
+        scene = _test_scene()
+        rig = default_rig(num_cameras=1)
+        batches = scene.sample_batches(0.2)
+        points = np.concatenate([b.points for b in batches])
+        colors = np.concatenate([b.colors for b in batches])
+        direct = render_rgbd(rig.cameras[0], points, colors, sequence=6)
+        via_cache = ProjectionCache(rig.cameras[0]).render(batches, sequence=6)
+        assert np.array_equal(direct.depth_mm, via_cache.depth_mm)
+        assert np.array_equal(direct.color, via_cache.color)
+
+    def test_static_batches_identical_across_frames(self):
+        scene = _test_scene()
+        first = {b.key: b for b in scene.sample_batches(0.0) if b.static}
+        later = {b.key: b for b in scene.sample_batches(0.5) if b.static}
+        assert first.keys() == later.keys() and first
+        for key in first:
+            assert first[key].points is later[key].points
+
+    def test_dynamic_batches_deterministic_and_time_varying(self):
+        scene = _test_scene()
+        a = [b for b in scene.sample_batches(0.3) if not b.static]
+        b = [b for b in scene.sample_batches(0.3) if not b.static]
+        c = [b for b in scene.sample_batches(0.4) if not b.static]
+        assert a and len(a) == len(b) == len(c)
+        for x, y, z in zip(a, b, c):
+            assert np.array_equal(x.points, y.points)
+            assert not np.array_equal(x.points, z.points)
+
+
+# ----------------------------------------------------------------------
+# Quality scoring parity
+# ----------------------------------------------------------------------
+
+
+def _cloud_pair(n: int = 4000, seed: int = 3) -> tuple[PointCloud, PointCloud]:
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(-2.0, 2.0, size=(n, 3))
+    colors = rng.integers(0, 256, size=(n, 3)).astype(np.uint8)
+    reference = PointCloud(positions, colors)
+    distorted = PointCloud(
+        positions + rng.normal(scale=0.01, size=positions.shape),
+        np.clip(colors.astype(np.int64) + rng.integers(-8, 8, size=colors.shape), 0, 255).astype(np.uint8),
+    )
+    return reference, distorted
+
+
+class TestQualityScoring:
+    def test_from_features_equals_one_shot_exactly(self):
+        reference, distorted = _cloud_pair()
+        one_shot = pointssim(reference, distorted)
+        split = pointssim_from_features(
+            precompute_features(reference), precompute_features(distorted)
+        )
+        assert one_shot.geometry == split.geometry
+        assert one_shot.color == split.color
+
+    def test_feature_cache_is_exact_and_hits(self):
+        reference, distorted = _cloud_pair()
+        baseline = pointssim(reference, distorted)
+        cache = FeatureCache()
+        first = pointssim(reference, distorted, cache=cache)
+        second = pointssim(reference, distorted, cache=cache)
+        assert baseline == first == second
+        assert cache.counters.misses == 2
+        assert cache.counters.hits == 2
+
+    def test_feature_cache_lru_eviction(self):
+        cache = FeatureCache(capacity=2)
+        clouds = [_cloud_pair(n=500, seed=s)[0] for s in range(3)]
+        for cloud in clouds:
+            cache.features(cloud, k=9)
+        assert len(cache) == 2
+        cache.features(clouds[0], k=9)  # evicted -> rebuild
+        assert cache.counters.misses == 4
+
+    def test_fingerprint_distinguishes_content(self):
+        reference, distorted = _cloud_pair(n=800)
+        assert cloud_fingerprint(reference) == cloud_fingerprint(
+            PointCloud(reference.positions.copy(), reference.colors.copy())
+        )
+        assert cloud_fingerprint(reference) != cloud_fingerprint(distorted)
+        a = np.arange(10.0)
+        b = a.copy()
+        b[7] += 1e-9
+        assert array_fingerprint(a) != array_fingerprint(b)
+
+    def test_subsample_deterministic_under_fixed_seed(self):
+        reference, _ = _cloud_pair(n=5000)
+        a = stratified_subsample(reference, 1000, seed=42)
+        b = stratified_subsample(reference, 1000, seed=42)
+        c = stratified_subsample(reference, 1000, seed=43)
+        assert np.array_equal(a.positions, b.positions)
+        assert np.array_equal(a.colors, b.colors)
+        assert len(a) == 1000
+        assert not np.array_equal(a.positions, c.positions)
+
+    def test_subsample_exact_passthrough_when_small_enough(self):
+        reference, distorted = _cloud_pair(n=900)
+        assert stratified_subsample(reference, 900, seed=0) is reference
+        exact = pointssim(reference, distorted)
+        with_knob = pointssim(reference, distorted, max_points=900)
+        assert exact == with_knob
+
+    def test_subsample_mode_scores_close_to_exact(self):
+        reference, distorted = _cloud_pair(n=6000)
+        exact = pointssim(reference, distorted)
+        approx = pointssim(reference, distorted, max_points=2000, seed=1)
+        assert abs(exact.geometry - approx.geometry) < 5.0
+        assert abs(exact.color - approx.color) < 5.0
+
+
+# ----------------------------------------------------------------------
+# Codec scratch-arena parity
+# ----------------------------------------------------------------------
+
+
+def _video_frames(num: int = 4, seed: int = 5) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, 256, size=(48, 64, 3)).astype(np.uint8)
+    frames = [base]
+    for _ in range(num - 1):
+        drift = rng.integers(-6, 7, size=base.shape)
+        frames.append(np.clip(frames[-1].astype(np.int64) + drift, 0, 255).astype(np.uint8))
+    return frames
+
+
+class TestScratchArena:
+    @pytest.mark.parametrize("depth_mode", [False, True])
+    def test_bitstreams_byte_identical(self, depth_mode):
+        if depth_mode:
+            make = lambda reuse: VideoCodecConfig.for_depth(
+                gop_size=3, search_range=1, scratch_reuse=reuse
+            )
+            rng = np.random.default_rng(9)
+            frames = [
+                (rng.integers(0, 60000, size=(48, 64))).astype(np.uint16)
+                for _ in range(4)
+            ]
+        else:
+            make = lambda reuse: VideoCodecConfig(
+                gop_size=3, search_range=1, scratch_reuse=reuse
+            )
+            frames = _video_frames()
+        outputs = {}
+        for reuse in (True, False):
+            encoder = VideoEncoder(make(reuse))
+            decoder = VideoDecoder(make(reuse))
+            payloads, decodes = [], []
+            for image in frames:
+                frame, recon = encoder.encode(image, qp=28)
+                payloads.append(frame.payload)
+                decodes.append(decoder.decode(frame).tobytes())
+                assert np.array_equal(recon, np.frombuffer(
+                    decodes[-1], dtype=recon.dtype
+                ).reshape(recon.shape))
+            outputs[reuse] = (payloads, decodes)
+        assert outputs[True] == outputs[False]
+
+    def test_arena_counters_record_hits(self):
+        config = VideoCodecConfig(gop_size=4, search_range=1)
+        encoder = VideoEncoder(config)
+        for image in _video_frames(num=5):
+            encoder.encode(image, qp=30)
+        counters = encoder.cache_counters
+        assert counters is not None
+        assert counters.hits > counters.misses
+
+    def test_rate_controlled_encode_identical(self):
+        frames = _video_frames(num=3)
+        sizes = {}
+        for reuse in (True, False):
+            encoder = VideoEncoder(
+                VideoCodecConfig(gop_size=3, search_range=1, scratch_reuse=reuse)
+            )
+            sizes[reuse] = [
+                encoder.encode_to_target(image, 6000)[0].payload for image in frames
+            ]
+        assert sizes[True] == sizes[False]
+
+
+# ----------------------------------------------------------------------
+# Session-level parity: kernel cache on vs off
+# ----------------------------------------------------------------------
+
+
+class TestSessionParity:
+    def test_cached_session_matches_uncached(self):
+        from dataclasses import asdict
+
+        scene_kwargs = dict(
+            num_people=1, num_props=2,
+            motion_amplitude_m=0.25, motion_frequency_hz=1.0,
+            sample_budget=8_000, seed=13,
+        )
+        user = user_traces_for_video("band2", 20)[0]
+        bandwidth = trace_1(duration_s=10)
+        reports = {}
+        for kernel_cache in (True, False):
+            config = SessionConfig(
+                num_cameras=4, camera_width=48, camera_height=36,
+                scene_sample_budget=8_000, gop_size=5,
+                kernel_cache=kernel_cache,
+            )
+            scene = make_scene("parity", **scene_kwargs)
+            reports[kernel_cache] = LiVoSession(config).run(
+                scene, user, bandwidth, 8, video_name="parity"
+            )
+        assert asdict(reports[True]) == asdict(reports[False])
+
+
+# ----------------------------------------------------------------------
+# Satellite regressions
+# ----------------------------------------------------------------------
+
+
+class TestSatellites:
+    def test_zigzag_cache_is_read_only(self):
+        indices = zigzag_indices(8)
+        assert not indices.flags.writeable
+        with pytest.raises(ValueError):
+            indices[0] = 99
+        # A would-be mutation cannot corrupt later encodes.
+        assert np.array_equal(indices, zigzag_indices(8))
+
+    def test_bit_length_exact_over_powers_of_two_and_large_magnitudes(self):
+        values = [1, 2, 3, 4, 7, 8, 9, 255, 256, 1023, 1024]
+        values += [2**b for b in (16, 31, 32, 52, 53, 62, 63)]
+        values += [2**b - 1 for b in (16, 31, 32, 52, 53, 62, 63)]
+        values += [2**53 + 2, 2**62 + 2**10, 2**63 - 1024]
+        array = np.array(values, dtype=np.uint64)
+        expected = np.array([int(v).bit_length() for v in values], dtype=np.int64)
+        assert np.array_equal(_bit_length(array), expected)
+
+    def test_entropy_roundtrip_with_large_levels(self):
+        # Levels near the int32 extremes: the float-log2 bit length broke
+        # exactly here (2^30-scale magnitudes round across the boundary).
+        levels = np.zeros((2, 8, 8), dtype=np.int32)
+        levels[0, 0, 0] = 2**30 - 1
+        levels[0, 1, 0] = -(2**30)
+        levels[1, 0, 0] = 2**31 - 1
+        levels[1, 0, 1] = -(2**31 - 1)
+        decoded = decode_levels(encode_levels(levels))
+        assert np.array_equal(decoded, levels)
+
+    def test_fill_holes_identical_to_reference_implementation(self):
+        def reference_fill(depth, color, iterations=2, min_neighbors=3):
+            depth = depth.astype(np.float64)
+            color = color.astype(np.float64)
+            height, width = depth.shape
+            shifts = [
+                (dy, dx)
+                for dy in (-1, 0, 1)
+                for dx in (-1, 0, 1)
+                if (dy, dx) != (0, 0)
+            ]
+            for _ in range(iterations):
+                valid = depth > 0
+                if valid.all():
+                    break
+                neighbor_count = np.zeros((height, width))
+                depth_sum = np.zeros((height, width))
+                color_sum = np.zeros(color.shape)
+                padded_depth = np.pad(depth, 1)
+                padded_color = np.pad(color, ((1, 1), (1, 1), (0, 0)))
+                padded_valid = np.pad(valid, 1)
+                for dy, dx in shifts:
+                    window = (
+                        slice(1 + dy, 1 + dy + height),
+                        slice(1 + dx, 1 + dx + width),
+                    )
+                    neighbor_valid = padded_valid[window]
+                    neighbor_count += neighbor_valid
+                    depth_sum += padded_depth[window] * neighbor_valid
+                    color_sum += padded_color[window] * neighbor_valid[..., None]
+                fill = (~valid) & (neighbor_count >= min_neighbors)
+                if not fill.any():
+                    break
+                depth[fill] = depth_sum[fill] / neighbor_count[fill]
+                color[fill] = color_sum[fill] / neighbor_count[fill][:, None]
+            return (
+                np.clip(np.rint(depth), 0, 65535).astype(np.uint16),
+                np.clip(np.rint(color), 0, 255).astype(np.uint8),
+            )
+
+        rng = np.random.default_rng(17)
+        depth = (rng.uniform(0, 4000, size=(40, 50))).astype(np.uint16)
+        depth[rng.uniform(size=depth.shape) < 0.35] = 0
+        color = rng.integers(0, 256, size=(40, 50, 3)).astype(np.uint8)
+        for iterations in (1, 2, 4):
+            got_d, got_c = fill_holes(depth, color, iterations=iterations)
+            want_d, want_c = reference_fill(depth, color, iterations=iterations)
+            assert np.array_equal(got_d, want_d)
+            assert np.array_equal(got_c, want_c)
+
+    def test_fill_holes_dense_input_unchanged(self):
+        depth = np.full((8, 8), 1200, dtype=np.uint16)
+        color = np.full((8, 8, 3), 90, dtype=np.uint8)
+        out_d, out_c = fill_holes(depth, color)
+        assert np.array_equal(out_d, depth)
+        assert np.array_equal(out_c, color)
