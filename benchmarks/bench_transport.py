@@ -1,0 +1,198 @@
+"""Benchmark the batched transport fast path against the scalar path.
+
+One 4K-scale channel workload -- >= 200 media packets per color frame
+at 30 fps over the paper's trace-1 with random loss, NACK retransmits,
+and FEC parity -- simulated twice: per-packet scalar events vs the
+vectorized ``send_batch`` fast path (DESIGN.md section 10).  Parity is
+asserted before any timing is trusted, twice over:
+
+- channel-level: identical deliveries, drop/loss counters, GCC targets,
+  and link queue state between the two modes;
+- session-level: a full ``LiVoSession`` replay produces byte-identical
+  reports with ``transport_fast_path`` on vs off.
+
+The headline metric is *event throughput*: link events (packet offers)
+plus channel events (feedback entries) processed per second of wall
+clock.  Both modes process the same event stream (that is what parity
+means), so the ratio is a pure speedup.
+
+Writes ``BENCH_transport.json`` next to the repo root.  ``--smoke``
+runs a reduced workload and exits nonzero if the fast path is slower
+than the scalar path or any parity check fails -- cheap enough for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.capture.dataset import load_video  # noqa: E402
+from repro.core.config import SessionConfig  # noqa: E402
+from repro.core.session import LiVoSession  # noqa: E402
+from repro.prediction.pose import user_traces_for_video  # noqa: E402
+from repro.transport.channel import WebRTCChannel, WebRTCConfig  # noqa: E402
+from repro.transport.link import EmulatedLink, LinkConfig  # noqa: E402
+from repro.transport.rtp import RTP_HEADER_BYTES  # noqa: E402
+from repro.transport.traces import trace_1  # noqa: E402
+
+FPS = 30.0
+
+
+def _run_workload(fast_path: bool, frames: int, color_bytes: int, depth_bytes: int):
+    """Replay the fixed two-stream workload; returns (elapsed_s, observables)."""
+    link = EmulatedLink(trace_1(duration_s=60.0), LinkConfig(loss_rate=0.02, seed=7))
+    channel = WebRTCChannel(
+        link, config=WebRTCConfig(fec_group_size=16), fast_path=fast_path
+    )
+    deliveries = []
+    start = time.perf_counter()
+    for sequence in range(frames):
+        now = sequence / FPS
+        deliveries.extend(channel.poll_deliveries(now))
+        # Deterministic size wobble so bursts are not all identical.
+        channel.send_frame(0, sequence, color_bytes + (sequence % 7) * 1500, now)
+        channel.send_frame(1, sequence, depth_bytes + (sequence % 5) * 400, now)
+    deliveries.extend(channel.poll_deliveries(frames / FPS + 5.0))
+    elapsed = time.perf_counter() - start
+
+    delivered_packets = (
+        link.packets_sent - link.packets_dropped - link.fault_drops - link.socket_drops
+    )
+    observables = {
+        "deliveries": deliveries,
+        "frames_lost": list(channel.frames_lost),
+        "bytes_per_stream": list(channel.bytes_sent_per_stream),
+        "target_rate": channel.target_rate_bps(),
+        "srtt": channel._srtt,
+        "packets_sent": link.packets_sent,
+        "packets_dropped": link.packets_dropped,
+        "bytes_delivered": link.bytes_delivered,
+        "fec_repaired": channel._fec_tracker.repaired,
+        # offers + per-packet feedback entries = the event stream both
+        # modes must process (batched or not).
+        "events": link.packets_sent + delivered_packets,
+    }
+    return elapsed, observables
+
+
+def _session_report(transport_fast_path: bool, frames: int):
+    config = SessionConfig(
+        num_cameras=4,
+        camera_width=48,
+        camera_height=36,
+        scene_sample_budget=6_000,
+        gop_size=5,
+        transport_fast_path=transport_fast_path,
+    )
+    _, scene = load_video("office1", sample_budget=6_000)
+    user = user_traces_for_video("office1", frames + 10)[0]
+    return LiVoSession(config).run(
+        scene, user, trace_1(duration_s=5), frames, video_name="office1"
+    )
+
+
+def bench_channel(frames: int, packets_per_frame: int, mtu: int) -> dict:
+    payload = mtu - RTP_HEADER_BYTES
+    color_bytes = packets_per_frame * payload  # >= packets_per_frame fragments
+    depth_bytes = color_bytes // 4
+
+    # Parity first, on a shortened run (same workload shape).
+    parity_frames = min(frames, 60)
+    _, fast_obs = _run_workload(True, parity_frames, color_bytes, depth_bytes)
+    _, scalar_obs = _run_workload(False, parity_frames, color_bytes, depth_bytes)
+    if fast_obs != scalar_obs:
+        diff = {k for k in fast_obs if fast_obs[k] != scalar_obs[k]}
+        raise AssertionError(f"channel parity failed: {sorted(diff)} differ")
+
+    scalar_s, scalar_obs = _run_workload(False, frames, color_bytes, depth_bytes)
+    fast_s, fast_obs = _run_workload(True, frames, color_bytes, depth_bytes)
+    if fast_obs != scalar_obs:
+        raise AssertionError("channel parity failed on the timed workload")
+
+    events = fast_obs["events"]
+    return {
+        "frames": frames,
+        "fps": FPS,
+        "packets_per_color_frame": packets_per_frame,
+        "trace": "trace-1, 2% random loss, FEC group 16, NACK retransmits",
+        "total_events": events,
+        "scalar_s": round(scalar_s, 4),
+        "fast_s": round(fast_s, 4),
+        "speedup": round(scalar_s / fast_s, 2),
+        "events_per_s_scalar": round(events / scalar_s),
+        "events_per_s_fast": round(events / fast_s),
+        "parity": "identical deliveries, counters, GCC targets, queue state",
+    }
+
+
+def bench_session_parity(frames: int) -> dict:
+    start = time.perf_counter()
+    fast = _session_report(True, frames)
+    fast_s = time.perf_counter() - start
+    start = time.perf_counter()
+    scalar = _session_report(False, frames)
+    scalar_s = time.perf_counter() - start
+    if asdict(fast) != asdict(scalar):
+        raise AssertionError("session parity failed: reports differ")
+    return {
+        "frames": frames,
+        "scalar_s": round(scalar_s, 4),
+        "fast_s": round(fast_s, 4),
+        "parity": "byte-identical session reports",
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--frames", type=int, default=300, help="channel frames to time")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced workload; exit 1 if the fast path is slower",
+    )
+    parser.add_argument("--out", default=None, help="output JSON path")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        frames, packets_per_frame, session_frames = 40, 60, 4
+    else:
+        frames, packets_per_frame, session_frames = args.frames, 220, 8
+
+    results = {
+        "bench": "batched transport fast path (fast vs scalar, parity asserted)",
+        "mode": "smoke" if args.smoke else "full",
+        "channel": bench_channel(frames, packets_per_frame, mtu=1200),
+        "session": bench_session_parity(session_frames),
+    }
+
+    out = Path(args.out) if args.out else Path(__file__).resolve().parent.parent / "BENCH_transport.json"
+    out.write_text(json.dumps(results, indent=2) + "\n")
+
+    channel = results["channel"]
+    print(
+        f"channel  scalar {channel['scalar_s']:8.3f}s  fast {channel['fast_s']:8.3f}s  "
+        f"{channel['speedup']:5.2f}x  "
+        f"({channel['events_per_s_scalar']:,} -> {channel['events_per_s_fast']:,} events/s)"
+    )
+    session = results["session"]
+    print(
+        f"session  scalar {session['scalar_s']:8.3f}s  fast {session['fast_s']:8.3f}s  "
+        f"({session['parity']})"
+    )
+    print(f"wrote {out}")
+
+    if args.smoke:
+        if channel["speedup"] < 1.0:
+            print("FAIL: transport fast path slower than scalar")
+            return 1
+        print("smoke OK: fast path at least as fast as scalar, parity held")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -60,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
         "either way",
     )
     run.add_argument(
+        "--no-transport-fast-path", action="store_true",
+        help="disable the batched transport fast path (per-packet scalar "
+        "simulation); outputs are byte-identical either way",
+    )
+    run.add_argument(
         "--quality-max-points", type=int, default=None,
         help="stratified-subsample clouds above this size before PointSSIM "
         "(deterministic approximation; default: exact scoring)",
@@ -133,6 +138,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         jobs=args.jobs, executor=args.executor, profile=args.profile,
         kernel_cache=not args.no_kernel_cache,
         quality_max_points=args.quality_max_points,
+        transport_fast_path=not args.no_transport_fast_path,
     )
     if args.scheme in ("LiVo", "LiVo-NoCull", "LiVo-NoAdapt"):
         report = LiVoSession(config).run(

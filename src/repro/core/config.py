@@ -96,6 +96,13 @@ class SessionConfig:
     kernel_cache: bool = True
     quality_max_points: int | None = None
 
+    # Batched transport fast path (repro.transport; see DESIGN.md
+    # section 10).  Simulates each frame's packet burst as one
+    # vectorized link event over the cumulative-capacity trace model.
+    # On by default because it is bit-identical to the per-packet
+    # scalar path; ``--no-transport-fast-path`` is the escape hatch.
+    transport_fast_path: bool = True
+
     # Evaluation.
     quality_every: int = 3        # PointSSIM every Nth rendered frame
     trace_scale: float | None = None  # None = auto from raw frame size

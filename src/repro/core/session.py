@@ -355,6 +355,7 @@ class LiVoSession(_SessionBase):
                 min_rate_bps=0.05 * mean_capacity_bps,
                 max_rate_bps=10.0 * mean_capacity_bps,
             ),
+            fast_path=config.transport_fast_path,
         )
 
         if scheme_name is None:
@@ -494,6 +495,7 @@ class LiVoSession(_SessionBase):
             captures.pop(sequence, None)
             encoded.pop(sequence, None)
             pair_arrivals.pop(sequence, None)
+            channel.release_frame(sequence)
 
         def resolve_head(now: float, final: bool) -> bool:
             """Resolve the oldest in-flight frame if its fate is known.
@@ -712,6 +714,7 @@ class LiVoSession(_SessionBase):
                 cache_stats["capture_projection"] = source.counters().to_dict()
             if quality_cache is not None:
                 cache_stats["quality_features"] = quality_cache.counters.to_dict()
+            cache_stats["transport_batch"] = channel.batch_counters.to_dict()
             report.attach_cache_stats(cache_stats)
         return report
 

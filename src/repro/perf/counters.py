@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["CacheCounters"]
+__all__ = ["CacheCounters", "BatchCounters"]
 
 
 @dataclass
@@ -50,4 +50,49 @@ class CacheCounters:
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class BatchCounters:
+    """Batched-vs-scalar tally for a vectorized fast path.
+
+    Items that went through a batched call count as hits, items that
+    fell back to per-item processing count as misses, so the profile
+    table (which reads hits/misses/hit_rate) shows the batched fraction
+    without special-casing.
+    """
+
+    name: str
+    batches: int = 0
+    batched_items: int = 0
+    scalar_items: int = 0
+
+    def batch(self, count: int) -> None:
+        """Record one batched call covering ``count`` items."""
+        self.batches += 1
+        self.batched_items += count
+
+    def scalar(self, count: int = 1) -> None:
+        """Record items processed one at a time."""
+        self.scalar_items += count
+
+    @property
+    def items(self) -> int:
+        """Total items recorded."""
+        return self.batched_items + self.scalar_items
+
+    @property
+    def batched_fraction(self) -> float:
+        """Fraction of items that went through a batched call."""
+        total = self.items
+        return self.batched_items / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (profile-table compatible)."""
+        return {
+            "hits": self.batched_items,
+            "misses": self.scalar_items,
+            "hit_rate": round(self.batched_fraction, 4),
+            "batches": self.batches,
         }

@@ -59,6 +59,9 @@ class GoogleCongestionControl:
         self._previous_group: _Group | None = None
         self._current_group: _Group | None = None
         self._recent_arrivals: deque[tuple[float, int]] = deque()
+        # Running byte total of _recent_arrivals, so the receive-rate
+        # estimate is O(1) instead of an O(window) re-sum per group.
+        self._recent_bytes = 0
 
     @property
     def state(self) -> str:
@@ -71,9 +74,11 @@ class GoogleCongestionControl:
         Packets sharing a send time form one group (a frame's burst).
         """
         self._recent_arrivals.append((arrival_time_s, size_bytes))
+        self._recent_bytes += size_bytes
         cutoff = arrival_time_s - self.config.receive_window_s
         while self._recent_arrivals and self._recent_arrivals[0][0] < cutoff:
-            self._recent_arrivals.popleft()
+            _, dropped_size = self._recent_arrivals.popleft()
+            self._recent_bytes -= dropped_size
 
         if self._current_group is None:
             self._current_group = _Group(send_time_s, arrival_time_s)
@@ -93,6 +98,36 @@ class GoogleCongestionControl:
             self._update_gradient(inter_arrival - inter_departure, completed.last_arrival_s)
         self._previous_group = self._current_group
         self._current_group = _Group(send_time_s, arrival_time_s)
+
+    def on_feedback_batch(
+        self,
+        send_time_s: float,
+        arrival_times_s: list[float],
+        sizes_bytes: list[int],
+    ) -> None:
+        """Fold a run of delivered packets sharing one send time.
+
+        Equivalent to calling :meth:`on_packet_feedback` once per entry
+        (arrivals must be nondecreasing -- FIFO link order).  Because
+        every entry belongs to the same packet group, only the first can
+        close the previous group and move the state machine; the rest
+        just extend the current group and the receive-rate window, which
+        batches to one ``deque.extend`` and one prune.
+        """
+        self.on_packet_feedback(send_time_s, arrival_times_s[0], sizes_bytes[0])
+        if len(arrival_times_s) == 1:
+            return
+        recent = self._recent_arrivals
+        recent.extend(zip(arrival_times_s[1:], sizes_bytes[1:]))
+        self._recent_bytes += sum(sizes_bytes[1:])
+        last_arrival = arrival_times_s[-1]
+        cutoff = last_arrival - self.config.receive_window_s
+        while recent and recent[0][0] < cutoff:
+            _, dropped_size = recent.popleft()
+            self._recent_bytes -= dropped_size
+        group = self._current_group
+        if last_arrival > group.last_arrival_s:
+            group.last_arrival_s = last_arrival
 
     def _update_gradient(self, gradient_sample: float, now: float) -> None:
         self._smoothed_gradient += self.config.gradient_smoothing * (
@@ -121,8 +156,7 @@ class GoogleCongestionControl:
             return 0.0
         window_start = self._recent_arrivals[0][0]
         window = max(now - window_start, 0.05)
-        total_bytes = sum(size for _, size in self._recent_arrivals)
-        return total_bytes * 8.0 / window
+        return self._recent_bytes * 8.0 / window
 
     def on_loss_report(self, loss_fraction: float) -> None:
         """Fold a periodic loss report into the loss-based controller."""

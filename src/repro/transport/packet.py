@@ -10,7 +10,7 @@ __all__ = ["Packet", "DEFAULT_MTU"]
 DEFAULT_MTU = 1200
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One RTP-like packet in flight.
 

@@ -48,19 +48,12 @@ class ReliableByteStream:
         self.deliveries: list[StreamDelivery] = []
 
     def _service_finish_time(self, start: float, size_bytes: int) -> float:
-        remaining_bits = size_bytes * 8.0
-        t = start
-        interval = self.trace.interval_s
-        for _ in range(10_000_000):
-            rate_bps = self.trace.capacity_bps_at(t) * self.efficiency
-            boundary = (int(t / interval) + 1) * interval
-            window = boundary - t
-            can_send = rate_bps * window
-            if can_send >= remaining_bits:
-                return t + remaining_bits / rate_bps
-            remaining_bits -= can_send
-            t = boundary
-        raise RuntimeError("stream service did not converge")
+        # Scaling capacity by the efficiency factor is the same as
+        # inflating the payload by 1/efficiency, which lets the shared
+        # cumulative-capacity inverse (O(log intervals), zero-rate safe)
+        # replace the old per-interval walk here too.
+        target = self.trace.cumulative_bits_at(start) + size_bytes * 8.0 / self.efficiency
+        return self.trace.time_for_cumulative(target)
 
     def send(self, message_id: int, size_bytes: int, now: float) -> StreamDelivery:
         """Append a message at time ``now``; returns its delivery record."""

@@ -38,11 +38,19 @@ class TestBandwidthTrace:
         with pytest.raises(ValueError):
             BandwidthTrace(np.array([]))
         with pytest.raises(ValueError):
-            BandwidthTrace(np.array([0.0, 1.0]))
+            BandwidthTrace(np.array([-1.0, 1.0]))
+        with pytest.raises(ValueError):
+            BandwidthTrace(np.array([0.0, 0.0]))
         with pytest.raises(ValueError):
             BandwidthTrace(np.array([1.0]), interval_s=0)
         with pytest.raises(ValueError):
             BandwidthTrace(np.array([1.0])).scaled(0.0)
+
+    def test_zero_rate_intervals_allowed(self):
+        # Outage spans are legitimate: capacity pauses, C(t) plateaus.
+        trace = BandwidthTrace(np.array([10.0, 0.0, 10.0]), interval_s=1.0)
+        assert trace.capacity_at(1.5) == 0.0
+        assert trace.cumulative_bits_at(2.0) == trace.cumulative_bits_at(1.0)
 
     def test_duration(self):
         trace = BandwidthTrace(np.ones(10), interval_s=0.5)
