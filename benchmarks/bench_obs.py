@@ -1,0 +1,157 @@
+"""Benchmark the observability layer's overhead on a full session.
+
+Runs the same LiVo replay with tracing off and on (several reps each,
+min-time comparison so scheduler noise doesn't dominate) and reports
+the tracing overhead as a percentage.  Before any timing is trusted,
+the off-vs-on reports are asserted ``dataclasses.asdict``-identical --
+the obs layer must observe the session, never steer it.
+
+Writes ``BENCH_obs.json`` next to the repo root.  ``--smoke`` runs a
+reduced workload and exits nonzero if the overhead exceeds 5% (the
+full run enforces the DESIGN.md budget of 3%) or if the traced run's
+report diverges from the untraced one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.capture.dataset import load_video  # noqa: E402
+from repro.core.config import SessionConfig  # noqa: E402
+from repro.core.session import LiVoSession  # noqa: E402
+from repro.prediction.pose import user_traces_for_video  # noqa: E402
+from repro.transport.traces import trace_1  # noqa: E402
+
+# Tracing-on runs may be this much slower than tracing-off (fractions).
+FULL_BUDGET = 0.03
+SMOKE_BUDGET = 0.05
+
+
+def _workload(frames: int, sample_budget: int):
+    """The chaos-suite-shaped clean workload (no faults: pure overhead)."""
+    _, scene = load_video("office1", sample_budget=sample_budget)
+    user = user_traces_for_video("office1", frames + 10)[0]
+    bandwidth = trace_1(duration_s=max(5, int(frames / 30) + 1))
+    config = SessionConfig(
+        num_cameras=4,
+        camera_width=32,
+        camera_height=24,
+        scene_sample_budget=sample_budget,
+        gop_size=10,
+        quality_every=6,
+    )
+    return scene, user, bandwidth, config
+
+
+def _run_once(scene, user, bandwidth, config, frames: int):
+    start = time.perf_counter()
+    report = LiVoSession(config).run(
+        scene, user, bandwidth, frames, video_name="office1"
+    )
+    elapsed = time.perf_counter() - start
+    return report, elapsed
+
+
+def bench_overhead(frames: int, sample_budget: int, reps: int) -> dict:
+    """Min-of-reps session time, tracing off vs on, reports compared."""
+    scene, user, bandwidth, base_config = _workload(frames, sample_budget)
+    traced_config = dataclasses.replace(base_config, trace=True)
+
+    baseline_report = None
+    traced_report = None
+    off_times: list[float] = []
+    on_times: list[float] = []
+    # Interleave off/on reps so cache warm-up and clock drift hit both
+    # sides equally.
+    for _ in range(reps):
+        report, elapsed = _run_once(scene, user, bandwidth, base_config, frames)
+        off_times.append(elapsed)
+        baseline_report = report
+        report, elapsed = _run_once(scene, user, bandwidth, traced_config, frames)
+        on_times.append(elapsed)
+        traced_report = report
+
+    if dataclasses.asdict(baseline_report) != dataclasses.asdict(traced_report):
+        raise AssertionError(
+            "tracing changed the session report: obs must observe, not steer"
+        )
+    if traced_report.trace is None:
+        raise AssertionError("traced run recorded no trace")
+    num_spans = len(traced_report.trace.spans())
+    open_spans = len(traced_report.trace.open_spans())
+    if open_spans:
+        raise AssertionError(f"{open_spans} spans left open after the session")
+
+    off_s, on_s = min(off_times), min(on_times)
+    return {
+        "frames": frames,
+        "reps": reps,
+        "sample_budget": sample_budget,
+        "tracing_off_s": round(off_s, 4),
+        "tracing_on_s": round(on_s, 4),
+        "overhead_pct": round((on_s / off_s - 1.0) * 100.0, 2),
+        "spans_recorded": num_spans,
+        "spans_per_frame": round(num_spans / frames, 1),
+        "report_parity": "asdict-identical",
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--frames", type=int, default=60, help="frames per session")
+    parser.add_argument("--reps", type=int, default=3, help="repetitions per mode")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced workload; exit 1 above 5% overhead or on report divergence",
+    )
+    parser.add_argument("--out", default=None, help="output JSON path")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        frames, budget, reps, limit = 30, 6_000, 2, SMOKE_BUDGET
+    else:
+        frames, budget, reps, limit = args.frames, 6_000, args.reps, FULL_BUDGET
+
+    results = {
+        "bench": "observability overhead (tracing on vs off, parity asserted)",
+        "mode": "smoke" if args.smoke else "full",
+        "budget_pct": limit * 100.0,
+        "overhead": bench_overhead(frames, budget, reps),
+    }
+
+    out = (
+        Path(args.out)
+        if args.out
+        else Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+    )
+    out.write_text(json.dumps(results, indent=2) + "\n")
+
+    entry = results["overhead"]
+    print(
+        f"tracing off {entry['tracing_off_s']:8.3f}s  "
+        f"on {entry['tracing_on_s']:8.3f}s  "
+        f"overhead {entry['overhead_pct']:+5.2f}%  "
+        f"({entry['spans_recorded']} spans, "
+        f"{entry['spans_per_frame']}/frame, {entry['report_parity']})"
+    )
+    print(f"wrote {out}")
+
+    if entry["overhead_pct"] > limit * 100.0:
+        print(
+            f"FAIL: tracing overhead {entry['overhead_pct']:.2f}% exceeds "
+            f"the {limit * 100.0:.0f}% budget"
+        )
+        return 1
+    print(f"OK: tracing overhead within the {limit * 100.0:.0f}% budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

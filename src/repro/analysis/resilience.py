@@ -6,7 +6,10 @@ headline robustness numbers the chaos suite reports:
 
 - **MTTR** -- mean time to recovery, the average length of completed
   degradation-ladder episodes (time from first degraded frame until the
-  ladder returns to full quality);
+  ladder returns to full quality).  Episodes still open at session end
+  are *not* recoveries: they are reported separately as
+  ``open_episodes``, and when no episode ever completed MTTR is NaN
+  ("never recovered"), not 0.0 ("recovered instantly");
 - **frames survived degraded** -- frames the hardening salvaged that a
   naive pipeline would have stalled or crashed on (degraded renders plus
   frame-freezes);
@@ -75,6 +78,19 @@ class ResilienceSummary:
         }
 
 
+def _mttr(episode_lengths: list[float], open_episodes: int) -> float:
+    """MTTR over completed episodes; NaN when nothing ever recovered.
+
+    A session whose only degradation episodes were still open at
+    session end has *no* completed recovery to average -- returning 0.0
+    there would silently deflate MTTR to "instant recovery".  With no
+    episodes at all (never degraded), 0.0 is the honest answer.
+    """
+    if episode_lengths:
+        return float(np.mean(episode_lengths))
+    return float("nan") if open_episodes else 0.0
+
+
 def summarize_resilience(
     reports: list[SessionReport], sessions_attempted: int | None = None
 ) -> ResilienceSummary:
@@ -110,7 +126,7 @@ def summarize_resilience(
         sessions_attempted=attempted,
         crash_free_rate=len(reports) / attempted if attempted else 0.0,
         total_fault_events=total_faults,
-        mttr_s=float(np.mean(episode_lengths)) if episode_lengths else 0.0,
+        mttr_s=_mttr(episode_lengths, open_episodes),
         frames_survived_degraded=sum(r.frames_survived_degraded for r in reports),
         frozen_frames=sum(r.frozen_frames for r in reports),
         degraded_renders=sum(r.degraded_renders for r in reports),

@@ -5,13 +5,15 @@ Usage (after ``python setup.py develop``)::
     python -m repro videos                     # list evaluation videos
     python -m repro schemes                    # list comparison schemes
     python -m repro traces                     # Table 4 trace statistics
-    python -m repro run --video band2 --scheme LiVo --trace trace-1
+    python -m repro run --video band2 --scheme LiVo --net-trace trace-1
+    python -m repro run --video band2 --trace /tmp/session.json   # Perfetto
     python -m repro export --video pizza1 --out /tmp/pizza1
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from pathlib import Path
 
 __all__ = ["build_parser", "main"]
@@ -36,7 +38,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="LiVo",
         choices=["LiVo", "LiVo-NoCull", "LiVo-NoAdapt", "Draco-Oracle", "MeshReduce"],
     )
-    run.add_argument("--trace", default="trace-1", choices=["trace-1", "trace-2"])
+    run.add_argument(
+        "--net-trace", default="trace-1", choices=["trace-1", "trace-2"],
+        help="bandwidth trace to replay (Table 4)",
+    )
+    run.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record per-frame spans and write a Chrome trace_event JSON "
+        "(open in Perfetto / chrome://tracing); LiVo schemes only",
+    )
+    run.add_argument(
+        "--trace-jsonl", metavar="PATH", default=None,
+        help="also/instead write the raw span records as JSONL",
+    )
     run.add_argument("--frames", type=int, default=30)
     run.add_argument("--user", type=int, default=0, help="user trace index (0-2)")
     run.add_argument("--cameras", type=int, default=8)
@@ -124,9 +138,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.prediction.pose import user_traces_for_video
     from repro.transport.traces import trace_1, trace_2
 
+    tracing = args.trace is not None or args.trace_jsonl is not None
+    if tracing and args.scheme not in ("LiVo", "LiVo-NoCull", "LiVo-NoAdapt"):
+        print(
+            "error: --trace/--trace-jsonl instrument the LiVo pipeline only "
+            f"(scheme {args.scheme!r} is untraced)",
+            file=sys.stderr,
+        )
+        return 2
+
     _, scene = load_video(args.video, sample_budget=20_000)
     user = user_traces_for_video(args.video, args.frames + 10)[args.user]
-    bandwidth = trace_1(duration_s=30) if args.trace == "trace-1" else trace_2(duration_s=30)
+    bandwidth = (
+        trace_1(duration_s=30) if args.net_trace == "trace-1" else trace_2(duration_s=30)
+    )
 
     flags = SchemeFlags(
         culling=args.scheme == "LiVo",
@@ -139,6 +164,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         kernel_cache=not args.no_kernel_cache,
         quality_max_points=args.quality_max_points,
         transport_fast_path=not args.no_transport_fast_path,
+        trace=tracing,
     )
     if args.scheme in ("LiVo", "LiVo-NoCull", "LiVo-NoAdapt"):
         report = LiVoSession(config).run(
@@ -160,6 +186,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if report.cache_stats:
             print()
             print(report.cache_table())
+    if tracing and report.trace is not None:
+        from repro.obs.export import write_chrome_trace, write_spans_jsonl
+
+        spans = report.trace.spans()
+        if args.trace is not None:
+            write_chrome_trace(
+                spans,
+                args.trace,
+                metadata={"scheme": args.scheme, "video": args.video},
+            )
+            print(f"wrote Chrome trace ({len(spans)} spans) to {args.trace}")
+        if args.trace_jsonl is not None:
+            write_spans_jsonl(spans, args.trace_jsonl)
+            print(f"wrote span JSONL ({len(spans)} spans) to {args.trace_jsonl}")
+        print()
+        print(report.timeline_table(limit=10))
     return 0
 
 

@@ -96,6 +96,13 @@ class SessionConfig:
     kernel_cache: bool = True
     quality_max_points: int | None = None
 
+    # Observability (repro.obs; see DESIGN.md section 11).  Off by
+    # default: an untraced session's report is byte-identical to one
+    # from a build without the obs layer.  When on, the session records
+    # one sim-clock root span per frame with stage/kernel/worker/
+    # transport/render spans beneath it (``--trace`` exports them).
+    trace: bool = False
+
     # Batched transport fast path (repro.transport; see DESIGN.md
     # section 10).  Simulates each frame's packet burst as one
     # vectorized link event over the cumulative-capacity trace model.

@@ -35,6 +35,7 @@ from repro.core.config import SessionConfig
 from repro.depthcodec.scaling import scale_depth
 from repro.geometry.camera import RGBDCamera
 from repro.metrics.image import rmse
+from repro.obs.span import TraceContext
 from repro.prediction.culling import cull_views
 from repro.prediction.pose import Pose
 from repro.prediction.predictor import FrustumPredictor, ViewingDevice
@@ -159,6 +160,18 @@ class LiVoSender:
         self._recover_with_intra = False
         self.encode_failures = 0
         self.worker_crashes = 0
+        self.tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Record per-stream encode spans (``repro.obs``) when tracing.
+
+        The two stream encodes become ``kernel`` spans parented under
+        the encode stage span; worker-hosted encoders additionally ship
+        their own ``worker`` spans back with each result.
+        """
+        self.tracer = tracer
+        for handle in (self._color_handle, self._depth_handle):
+            handle.attach_tracer(tracer)
 
     # ------------------------------------------------------------------
     # Executor attachment (parallel encode)
@@ -208,6 +221,9 @@ class LiVoSender:
             lambda: self.depth_encoder, "depth-encoder"
         )
         self._remote_encoders = False
+        if self.tracer is not None:
+            for handle in (self._color_handle, self._depth_handle):
+                handle.attach_tracer(self.tracer)
 
     # ------------------------------------------------------------------
     # Pose feedback
@@ -329,24 +345,60 @@ class LiVoSender:
         else:
             color_call = ("encode", prepared.tiled_color, self.config.scheme.fixed_color_qp)
             depth_call = ("encode", prepared.tiled_depth, self.config.scheme.fixed_depth_qp)
+        tracer = self.tracer
+        color_span = depth_span = None
+        color_kwargs: dict = {"force_intra": force_intra}
+        depth_kwargs: dict = {"force_intra": force_intra}
+        if tracer is not None:
+            # Both kernel spans are siblings under the encode stage
+            # span (the tracer's current span when the stage runs us),
+            # so capture that parent explicitly before opening either.
+            parent = tracer.current()
+            parent_id = parent.span_id if parent is not None else None
+            color_span = tracer.start_span(
+                "encode:color",
+                category="kernel",
+                trace_id=prepared.sequence,
+                parent_id=parent_id,
+            )
+            depth_span = tracer.start_span(
+                "encode:depth",
+                category="kernel",
+                trace_id=prepared.sequence,
+                parent_id=parent_id,
+            )
+            color_kwargs["_obs_ctx"] = TraceContext(
+                prepared.sequence, color_span.span_id
+            )
+            depth_kwargs["_obs_ctx"] = TraceContext(
+                prepared.sequence, depth_span.span_id
+            )
         try:
             # Dispatch both streams before collecting either: on a
             # process executor the two encodes run concurrently.
-            color_pending = self._color_handle.call_async(
-                *color_call, force_intra=force_intra
-            )
-            depth_pending = self._depth_handle.call_async(
-                *depth_call, force_intra=force_intra
-            )
+            color_pending = self._color_handle.call_async(*color_call, **color_kwargs)
+            depth_pending = self._depth_handle.call_async(*depth_call, **depth_kwargs)
             color_frame, color_recon = color_pending.result()
             depth_frame, depth_recon = depth_pending.result()
         except WorkerCrash:
+            # The dispatching side owns the kernel spans: a dead worker
+            # never ships its own, so close ours with an error status
+            # rather than leaking open spans into the trace.
+            if tracer is not None:
+                tracer.end_span(depth_span, status="error")
+                tracer.end_span(color_span, status="error")
             self._fall_back_to_local_encoders()
             self._on_encode_failure()
             return None
         except Exception:
+            if tracer is not None:
+                tracer.end_span(depth_span, status="error")
+                tracer.end_span(color_span, status="error")
             self._on_encode_failure()
             return None
+        if tracer is not None:
+            tracer.end_span(depth_span)
+            tracer.end_span(color_span)
         self._recover_with_intra = False
 
         color_error: float | None = None

@@ -51,6 +51,8 @@ from repro.geometry.frustum import Frustum
 from repro.geometry.pointcloud import PointCloud
 from repro.geometry.voxel import voxel_downsample
 from repro.metrics.pointssim import pointssim
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.perf.capture import CachedFrameSource
 from repro.perf.features import FeatureCache
 from repro.prediction.pose import PoseTrace
@@ -189,21 +191,45 @@ def _quality_job(
     actual_frustum: Frustum,
     render_voxel_m: float,
     shown: PointCloud,
+    obs_ctx=None,
 ):
     """Pure quality-scoring job: build the ground truth, score the shown
     cloud against it.  No session state touched, so it can run in any
-    worker; returns None when the truth is empty (nothing to score).
-    The feature cache / subsample knobs come from ``_QUALITY_CTX``
-    (process-local, fork-inherited like ``_CAPTURE_CTX``)."""
-    truth = ground_truth_cloud(frame, cameras, actual_frustum, render_voxel_m)
-    if truth.is_empty:
-        return None
-    return pointssim(
-        truth,
-        shown,
-        cache=_QUALITY_CTX.get("cache"),
-        max_points=_QUALITY_CTX.get("max_points"),
-    )
+    worker; the score is None when the truth is empty (nothing to
+    score).  The feature cache / subsample knobs come from
+    ``_QUALITY_CTX`` (process-local, fork-inherited like
+    ``_CAPTURE_CTX``).
+
+    Returns ``(score, spans)``: with ``obs_ctx`` (a
+    :class:`repro.obs.span.TraceContext`) set, the scoring runs inside
+    a worker-local span shipped back for the session tracer to absorb;
+    otherwise ``spans`` is None.
+    """
+
+    def compute():
+        truth = ground_truth_cloud(frame, cameras, actual_frustum, render_voxel_m)
+        if truth.is_empty:
+            return None
+        return pointssim(
+            truth,
+            shown,
+            cache=_QUALITY_CTX.get("cache"),
+            max_points=_QUALITY_CTX.get("max_points"),
+        )
+
+    if obs_ctx is None:
+        return compute(), None
+    from repro.obs.tracer import worker_tracer
+
+    tracer = worker_tracer()
+    with tracer.span(
+        "quality:pointssim",
+        category="worker",
+        trace_id=obs_ctx.trace_id,
+        parent_id=obs_ctx.span_id,
+    ):
+        score = compute()
+    return score, tracer.spans()
 
 
 @dataclass
@@ -318,11 +344,20 @@ class LiVoSession(_SessionBase):
         video_name: str = "video",
         scheme_name: str | None = None,
         fault_plan: FaultPlan | None = None,
+        tracer: Tracer | None = None,
     ) -> SessionReport:
-        """Replay ``num_frames`` captures through the full pipeline."""
+        """Replay ``num_frames`` captures through the full pipeline.
+
+        ``tracer`` (or ``config.trace``) turns on per-frame span
+        tracing: one sim-clock root span per capture tick with stage,
+        kernel, worker, transport, and render spans beneath it.  Off by
+        default -- an untraced run's report is byte-identical.
+        """
         if num_frames <= 0:
             raise ValueError("num_frames must be positive")
         config = self.config
+        if tracer is None and config.trace:
+            tracer = Tracer()
         resilience = config.resilience
         hardened = resilience.enabled
         injector = FaultInjector(fault_plan) if fault_plan is not None else None
@@ -378,6 +413,10 @@ class LiVoSession(_SessionBase):
         _CAPTURE_CTX["cameras"] = rig.cameras
         quality_cache = self._attach_caches(source)
         sender.attach_executor(executor)
+        if tracer is not None:
+            # After attach_executor: the encoder handles it installs are
+            # the ones whose worker spans must flow back.
+            sender.attach_tracer(tracer)
 
         captures: dict[int, MultiViewFrame] = {}
         encoded: dict[int, tuple] = {}
@@ -426,6 +465,9 @@ class LiVoSession(_SessionBase):
                 Stage("encode", do_encode),
             ]
         )
+        if tracer is not None:
+            for stage in graph.stages:
+                stage.attach_tracer(tracer)
 
         # Receive-side stages, driven on delivery rather than capture
         # ticks; instrumented the same way.
@@ -453,17 +495,39 @@ class LiVoSession(_SessionBase):
                 actual,
                 config.render_voxel_m,
                 shown,
+                tracer.current_context() if tracer is not None else None,
             )
             quality_pending.append((record, future))
 
         decode_stage = Stage("decode", do_decode)
         quality_stage = Stage("quality", do_quality)
+        if tracer is not None:
+            # Both receive stages take positional arg tuples with the
+            # frame sequence riding at index 2.
+            decode_stage.attach_tracer(tracer, seq_fn=lambda args: args[2])
+            quality_stage.attach_tracer(tracer, seq_fn=lambda args: args[2])
 
         def ingest(deliveries) -> None:
             for delivery in deliveries:
                 pair_arrivals.setdefault(delivery.frame_sequence, {})[
                     delivery.stream_id
                 ] = delivery.completion_time_s
+                if tracer is not None:
+                    # One sim-clock transport span per delivered stream:
+                    # send tick to last-byte delivery.
+                    seq = delivery.frame_sequence
+                    record = records.get(seq)
+                    if record is not None:
+                        tracer.add_span(
+                            "transport:color"
+                            if delivery.stream_id == 0
+                            else "transport:depth",
+                            "transport",
+                            seq,
+                            record.capture_time_s,
+                            delivery.completion_time_s,
+                            parent_id=tracer.frame_root(seq),
+                        )
 
         def observe_deadline(on_time: bool, now: float) -> None:
             """Feed the watchdog; record ladder transitions as events."""
@@ -530,6 +594,23 @@ class LiVoSession(_SessionBase):
                         observe_deadline(True, now)
                     else:
                         observe_deadline(False, now)
+                    if tracer is not None:
+                        if record.rendered:
+                            # Render span: one frame interval on screen
+                            # from the jitter-buffered playout point.
+                            tracer.add_span(
+                                "render",
+                                "stage",
+                                sequence,
+                                playout_time,
+                                playout_time + interval,
+                                parent_id=tracer.frame_root(sequence),
+                            )
+                            tracer.close_frame(
+                                sequence, playout_time + interval, status="rendered"
+                            )
+                        else:
+                            tracer.close_frame(sequence, playout_time, status="late")
                 else:
                     # Undecodable pair: freeze the last good frame and
                     # ask the sender for a keyframe (PLI semantics).
@@ -546,6 +627,12 @@ class LiVoSession(_SessionBase):
                                 )
                             )
                     observe_deadline(False, now)
+                    if tracer is not None:
+                        tracer.close_frame(
+                            sequence,
+                            now,
+                            status="frozen" if record.frozen else "undecodable",
+                        )
             elif abandoned or final:
                 if abandoned:
                     events.append(
@@ -559,6 +646,12 @@ class LiVoSession(_SessionBase):
                 if hardened and receiver.freeze_frame() is not None:
                     record.frozen = True
                 observe_deadline(False, now)
+                if tracer is not None:
+                    tracer.close_frame(
+                        sequence,
+                        now,
+                        status="frozen" if record.frozen else "undelivered",
+                    )
             else:
                 return False
             pending.popleft()
@@ -580,6 +673,8 @@ class LiVoSession(_SessionBase):
                         (sequence - lag) * interval,
                     )
                 boundary.tick(now)
+                if tracer is not None:
+                    tracer.open_frame(sequence, now)
                 level = watchdog.level if watchdog is not None else 0
                 if watchdog is not None and watchdog.skips_tick(sequence):
                     records[sequence] = FrameRecord(
@@ -590,6 +685,8 @@ class LiVoSession(_SessionBase):
                         skipped=True,
                         degradation_level=level,
                     )
+                    if tracer is not None:
+                        tracer.close_frame(sequence, now, status="skipped")
                     continue
                 force_intra = (
                     channel.needs_keyframe(0)
@@ -629,6 +726,8 @@ class LiVoSession(_SessionBase):
                         )
                     )
                     observe_deadline(False, now)
+                    if tracer is not None:
+                        tracer.close_frame(sequence, now, status="encode_failed")
                     continue
                 if result.empty:
                     # Degenerate capture: culling removed every visible
@@ -644,6 +743,8 @@ class LiVoSession(_SessionBase):
                         degradation_level=level,
                         empty=True,
                     )
+                    if tracer is not None:
+                        tracer.close_frame(sequence, now, status="empty")
                     continue
                 if force_intra:
                     rx_request_intra = False
@@ -671,7 +772,9 @@ class LiVoSession(_SessionBase):
             # Collect deferred quality scores (computed in workers when
             # parallel; already resolved when serial).
             for record, future in quality_pending:
-                score = future.result()
+                score, shipped_spans = future.result()
+                if shipped_spans and tracer is not None:
+                    tracer.absorb(shipped_spans)
                 if score is not None:
                     record.pssim_geometry = score.geometry
                     record.pssim_color = score.color
@@ -689,6 +792,16 @@ class LiVoSession(_SessionBase):
                 )
             )
         events.sort(key=lambda event: event.time_s)
+        if tracer is not None:
+            for event in events:
+                tracer.instant(
+                    f"fault:{event.category}",
+                    "fault",
+                    trace_id=event.sequence,
+                    time_s=event.time_s,
+                    attrs={"detail": event.detail},
+                )
+            tracer.finish(duration + 5.0)
 
         report = SessionReport(
             scheme=scheme_name,
@@ -716,6 +829,30 @@ class LiVoSession(_SessionBase):
                 cache_stats["quality_features"] = quality_cache.counters.to_dict()
             cache_stats["transport_batch"] = channel.batch_counters.to_dict()
             report.attach_cache_stats(cache_stats)
+
+        # Unified metrics registry: the older telemetry channels (cache
+        # counters, stage timings, transport batch counters, fault
+        # events) folded into one queryable namespace.  Built from
+        # already-collected aggregates, so the hot path is untouched.
+        registry = MetricsRegistry()
+        registry.absorb_stage_timings(report.stage_timings or {})
+        if report.cache_stats:
+            # transport_batch is registered by channel.metrics_into;
+            # absorbing it from cache_stats too would double-count.
+            registry.absorb_cache_stats(
+                {
+                    name: entry
+                    for name, entry in report.cache_stats.items()
+                    if name != "transport_batch"
+                }
+            )
+        channel.metrics_into(registry)
+        if injector is not None:
+            injector.metrics_into(registry)
+        registry.absorb_fault_events(events)
+        report.attach_metrics(registry)
+        if tracer is not None:
+            report.attach_trace(tracer)
         return report
 
 

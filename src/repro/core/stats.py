@@ -118,6 +118,47 @@ class SessionReport:
 
         return format_cache_stats(self._cache_stats)
 
+    # Observability attachments (repro.obs), same non-field pattern:
+    # traces and metric registries vary run to run and stay invisible
+    # to asdict, so a traced report serializes byte-identically to an
+    # untraced one.
+    _trace = None
+    _metrics = None
+
+    def attach_trace(self, tracer) -> None:
+        """Attach the session's span tracer (:class:`repro.obs.Tracer`)."""
+        self._trace = tracer
+
+    @property
+    def trace(self):
+        """The attached session tracer, or None when tracing was off."""
+        return self._trace
+
+    def attach_metrics(self, registry) -> None:
+        """Attach the unified :class:`repro.obs.MetricsRegistry`."""
+        self._metrics = registry
+
+    @property
+    def metrics(self):
+        """The attached metrics registry, or None when never built."""
+        return self._metrics
+
+    def frame_timeline(self) -> dict:
+        """Per-frame span timeline summary ({} when tracing was off)."""
+        if self._trace is None:
+            return {}
+        from repro.obs.timeline import frame_timelines
+
+        return frame_timelines(self._trace.spans())
+
+    def timeline_table(self, limit: int | None = 20) -> str:
+        """Human-readable per-frame timeline (``--trace`` companion)."""
+        if self._trace is None:
+            return "(no trace recorded)"
+        from repro.obs.timeline import format_timeline, frame_timelines
+
+        return format_timeline(frame_timelines(self._trace.spans()), limit=limit)
+
     # ------------------------------------------------------------------
     # Stalls and frame rate
     # ------------------------------------------------------------------
@@ -227,7 +268,12 @@ class SessionReport:
             ]
         )
         if len(latencies) == 0:
-            return 0.0, 0.0, 0.0
+            # No frame was ever delivered.  Zero would read as "instant
+            # delivery" -- conflating total loss with a perfect network
+            # -- so report NaN: "no measurement", which downstream
+            # consumers can distinguish from a real 0 ms latency.
+            nan = float("nan")
+            return nan, nan, nan
         return (
             float(latencies.mean()),
             float(np.percentile(latencies, 50)),
@@ -286,11 +332,19 @@ class SessionReport:
     @property
     def mttr_s(self) -> float:
         """Mean time to recovery: average length of *completed*
-        degradation episodes (entered and left the ladder)."""
-        durations = [
-            end - start for start, end in self.degradation_episodes() if end is not None
-        ]
-        return float(np.mean(durations)) if durations else 0.0
+        degradation episodes (entered and left the ladder).
+
+        An episode still open at session end is not a recovery: when
+        every episode is open, there is no completed recovery to
+        average and the result is NaN -- 0.0 here would read as
+        "recovered instantly" for a session that never recovered at
+        all.  A session that never degraded reports 0.0.
+        """
+        episodes = self.degradation_episodes()
+        durations = [end - start for start, end in episodes if end is not None]
+        if durations:
+            return float(np.mean(durations))
+        return float("nan") if episodes else 0.0
 
     @property
     def mean_split(self) -> float:

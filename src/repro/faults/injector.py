@@ -57,6 +57,10 @@ class FaultInjector:
         self._corrupt_sequences = {f.sequence for f in plan.corrupted_frames}
         self.link_fault_drops = 0
 
+    def metrics_into(self, registry) -> None:
+        """Fold injector counters into a ``repro.obs`` registry."""
+        registry.counter("faults.link_fault_drops").inc(self.link_fault_drops)
+
     # ------------------------------------------------------------------
     # Capture layer
     # ------------------------------------------------------------------

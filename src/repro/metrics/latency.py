@@ -11,6 +11,7 @@ be replaced by the actually-simulated network + jitter-buffer delay.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 __all__ = ["StageLatencies", "LatencyBreakdown", "latency_table"]
@@ -48,9 +49,16 @@ class LatencyBreakdown:
 
     @property
     def transmission_ms(self) -> float:
-        """Simulated transmission latency when available, else the model."""
-        if self.measured_transmission_ms is not None:
-            return self.measured_transmission_ms
+        """Simulated transmission latency when available, else the model.
+
+        "No measurement" is ``None`` *or* NaN (the nan-safe stats paths
+        report NaN when nothing was delivered); a measured 0.0 ms -- or
+        any sub-millisecond value -- is a legal measurement and is
+        honored, never confused with "missing".
+        """
+        measured = self.measured_transmission_ms
+        if measured is not None and not math.isnan(measured):
+            return measured
         return self.stages.transmission
 
     @property

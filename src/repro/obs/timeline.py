@@ -1,0 +1,89 @@
+"""Per-frame timeline summaries built from a session's span set.
+
+Collapses the trace into one row per frame -- where each frame's
+milliseconds went, stage by stage -- which is the per-frame analogue
+of Table 6's per-stage latency breakdown and the summary
+:class:`~repro.core.stats.SessionReport` exposes when tracing was on.
+"""
+
+from __future__ import annotations
+
+from repro.obs.span import CLOCK_SIM, Span
+
+__all__ = ["frame_timelines", "format_timeline"]
+
+
+def frame_timelines(spans: list[Span]) -> dict[int, dict]:
+    """One summary dict per frame sequence.
+
+    Each entry carries the frame root's sim-clock lifetime
+    (``start_s``/``end_s``/``status``), per-stage wall milliseconds
+    (``stages``), sim-clock transport milliseconds per stream
+    (``transport_ms``), and the frame's fault instants (``events``).
+    """
+    timelines: dict[int, dict] = {}
+
+    def entry(sequence: int) -> dict:
+        return timelines.setdefault(
+            sequence,
+            {
+                "start_s": None,
+                "end_s": None,
+                "status": None,
+                "stages": {},
+                "kernels": {},
+                "transport_ms": {},
+                "events": [],
+            },
+        )
+
+    for span in spans:
+        if span.trace_id is None:
+            continue
+        row = entry(span.trace_id)
+        duration_ms = span.duration_s * 1e3
+        if span.category == "frame":
+            row["start_s"] = span.start_s
+            row["end_s"] = span.end_s
+            row["status"] = span.status
+            row.update(
+                {key: value for key, value in span.attrs.items() if key != "instant"}
+            )
+        elif span.instant:
+            row["events"].append(span.name)
+        elif span.category == "transport":
+            row["transport_ms"][span.name] = (
+                row["transport_ms"].get(span.name, 0.0) + duration_ms
+            )
+        elif span.category in ("kernel", "worker"):
+            row["kernels"][span.name] = row["kernels"].get(span.name, 0.0) + duration_ms
+        elif span.clock == CLOCK_SIM:
+            # Sim-clock stages (render/playout) keep sim milliseconds.
+            row["stages"][span.name] = row["stages"].get(span.name, 0.0) + duration_ms
+        else:
+            row["stages"][span.name] = row["stages"].get(span.name, 0.0) + duration_ms
+    return dict(sorted(timelines.items()))
+
+
+def format_timeline(timelines: dict[int, dict], limit: int | None = None) -> str:
+    """Render the per-frame timeline as a compact table."""
+    if not timelines:
+        return "(no trace recorded)"
+    stage_names: list[str] = []
+    for row in timelines.values():
+        for name in row["stages"]:
+            if name not in stage_names:
+                stage_names.append(name)
+    header = f"{'frame':>5s} {'status':<10s} " + " ".join(
+        f"{name[:9]:>9s}" for name in stage_names
+    )
+    lines = [header + "   (ms per stage)", "-" * len(header)]
+    for sequence, row in timelines.items():
+        if limit is not None and sequence >= limit:
+            lines.append(f"... ({len(timelines) - limit} more frames)")
+            break
+        cells = " ".join(
+            f"{row['stages'].get(name, 0.0):>9.2f}" for name in stage_names
+        )
+        lines.append(f"{sequence:>5d} {str(row['status']):<10s} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,316 @@
+"""The tracer: span lifecycle, frame contexts, and cross-boundary merge.
+
+One :class:`Tracer` instance serves a whole session.  It is
+thread-safe (the threaded stage schedule runs stages on dedicated
+threads) and keeps a context-local "current span" so sub-spans opened
+inside a stage body parent correctly without explicit plumbing.
+
+Cross-process propagation: work dispatched to another process carries
+a :class:`~repro.obs.span.TraceContext`; the worker records spans into
+its own lightweight tracer (:func:`worker_tracer`) and ships the
+closed spans back with the result, where :meth:`Tracer.absorb` remaps
+their ids into the session trace while preserving parent links.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+
+from repro.obs.clock import Clock, WallClock
+from repro.obs.span import (
+    CLOCK_SIM,
+    CLOCK_WALL,
+    STATUS_INCOMPLETE,
+    STATUS_OK,
+    Span,
+    TraceContext,
+)
+
+__all__ = ["Tracer", "worker_tracer"]
+
+
+class Tracer:
+    """Collects spans for one session with explicit clocks."""
+
+    def __init__(self, clock: Clock | None = None, id_start: int = 1, id_step: int = 1) -> None:
+        self.clock = clock or WallClock()
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        # Session tracers count up from 1; worker tracers count *down*
+        # from -1 (see :func:`worker_tracer`), so a shipped batch's
+        # internal ids can never be numerically confused with the
+        # external (session-side) parent id in its TraceContext.
+        self._next_id = id_start
+        self._id_step = id_step
+        self._frame_roots: dict[int, Span] = {}
+        # Context-local span stack; threading.local rather than a
+        # ContextVar because stage threads are plain threads and each
+        # opens/closes its spans strictly LIFO.
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Span lifecycle
+    # ------------------------------------------------------------------
+
+    def _allocate_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += self._id_step
+            return span_id
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def current_context(self) -> TraceContext | None:
+        """The current span as a picklable cross-boundary context."""
+        span = self.current()
+        if span is None:
+            return None
+        return TraceContext(span.trace_id, span.span_id)
+
+    def start_span(
+        self,
+        name: str,
+        category: str = "stage",
+        trace_id: int | None = None,
+        parent_id: int | None = None,
+        attrs: dict | None = None,
+    ) -> Span:
+        """Open a wall-clock span and make it the current span.
+
+        ``trace_id``/``parent_id`` default to the innermost open span's
+        on this thread, so nested work inherits its frame context.
+        """
+        current = self.current()
+        if trace_id is None and current is not None:
+            trace_id = current.trace_id
+        if parent_id is None and current is not None:
+            parent_id = current.span_id
+        span = Span(
+            name=name,
+            category=category,
+            trace_id=trace_id,
+            span_id=self._allocate_id(),
+            parent_id=parent_id,
+            start_s=self.clock.now(),
+            clock=CLOCK_WALL,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            attrs=attrs or {},
+        )
+        with self._lock:
+            self._spans.append(span)
+        self._stack().append(span)
+        return span
+
+    def end_span(self, span: Span, status: str = STATUS_OK) -> None:
+        """Close a span opened with :meth:`start_span`."""
+        if span.end_s is not None:
+            return
+        span.end_s = self.clock.now()
+        span.status = status
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # defensive: out-of-order close
+            stack.remove(span)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        category: str = "stage",
+        trace_id: int | None = None,
+        parent_id: int | None = None,
+        attrs: dict | None = None,
+    ):
+        """Context-managed wall-clock span; errors close it as such."""
+        opened = self.start_span(
+            name, category=category, trace_id=trace_id, parent_id=parent_id, attrs=attrs
+        )
+        try:
+            yield opened
+        except BaseException:
+            self.end_span(opened, status="error")
+            raise
+        else:
+            self.end_span(opened)
+
+    def add_span(
+        self,
+        name: str,
+        category: str,
+        trace_id: int | None,
+        start_s: float,
+        end_s: float,
+        clock: str = CLOCK_SIM,
+        parent_id: int | None = None,
+        status: str = STATUS_OK,
+        attrs: dict | None = None,
+    ) -> Span:
+        """Record an already-timed span (e.g. on the simulated clock)."""
+        span = Span(
+            name=name,
+            category=category,
+            trace_id=trace_id,
+            span_id=self._allocate_id(),
+            parent_id=parent_id,
+            start_s=float(start_s),
+            end_s=float(end_s),
+            clock=clock,
+            status=status,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            attrs=attrs or {},
+        )
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    def instant(
+        self,
+        name: str,
+        category: str,
+        trace_id: int | None = None,
+        time_s: float | None = None,
+        clock: str = CLOCK_SIM,
+        attrs: dict | None = None,
+    ) -> Span:
+        """Record a zero-duration marker event (fault edges, PLI, ...)."""
+        stamp = self.clock.now() if time_s is None else float(time_s)
+        merged = {"instant": True}
+        if attrs:
+            merged.update(attrs)
+        return self.add_span(
+            name,
+            category,
+            trace_id,
+            start_s=stamp,
+            end_s=stamp,
+            clock=clock,
+            attrs=merged,
+        )
+
+    # ------------------------------------------------------------------
+    # Frame contexts (one trace per capture sequence)
+    # ------------------------------------------------------------------
+
+    def open_frame(
+        self, sequence: int, sim_time_s: float, attrs: dict | None = None
+    ) -> Span:
+        """Open the sim-clock root span for one frame's trace."""
+        span = Span(
+            name=f"frame {sequence}",
+            category="frame",
+            trace_id=sequence,
+            span_id=self._allocate_id(),
+            parent_id=None,
+            start_s=float(sim_time_s),
+            clock=CLOCK_SIM,
+            pid=os.getpid(),
+            tid=0,
+            attrs=attrs or {},
+        )
+        with self._lock:
+            self._spans.append(span)
+            self._frame_roots[sequence] = span
+        return span
+
+    def close_frame(
+        self,
+        sequence: int,
+        sim_time_s: float,
+        status: str = STATUS_OK,
+        attrs: dict | None = None,
+    ) -> None:
+        """Close a frame root at its resolution time."""
+        span = self._frame_roots.get(sequence)
+        if span is None or span.end_s is not None:
+            return
+        span.end_s = float(sim_time_s)
+        span.status = status
+        if attrs:
+            span.attrs.update(attrs)
+
+    def frame_root(self, sequence: int | None) -> int | None:
+        """The frame root's span id (parent for that frame's stages)."""
+        if sequence is None:
+            return None
+        span = self._frame_roots.get(sequence)
+        return span.span_id if span is not None else None
+
+    # ------------------------------------------------------------------
+    # Cross-boundary merge and finalization
+    # ------------------------------------------------------------------
+
+    def absorb(self, spans: list[Span]) -> None:
+        """Merge externally recorded spans (worker processes, pool jobs).
+
+        Ids are remapped so they cannot collide with this tracer's;
+        parent links *within* the absorbed batch follow the remap,
+        while parents pointing at this tracer's spans (the dispatched
+        :class:`TraceContext`) pass through untouched.
+        """
+        if not spans:
+            return
+        remap: dict[int, int] = {}
+        for span in spans:
+            remap[span.span_id] = self._allocate_id()
+        with self._lock:
+            for span in spans:
+                span.span_id = remap[span.span_id]
+                if span.parent_id in remap:
+                    span.parent_id = remap[span.parent_id]
+                self._spans.append(span)
+
+    def spans(self) -> list[Span]:
+        """Snapshot of every recorded span."""
+        with self._lock:
+            return list(self._spans)
+
+    def open_spans(self) -> list[Span]:
+        """Spans not yet closed (a finished trace should have none)."""
+        with self._lock:
+            return [span for span in self._spans if span.end_s is None]
+
+    def finish(self, sim_time_s: float | None = None) -> None:
+        """Close any straggler spans with :data:`STATUS_INCOMPLETE`.
+
+        Wall spans close at the wall clock's now; sim spans at
+        ``sim_time_s`` (their own start when not given).
+        """
+        wall_now = self.clock.now()
+        with self._lock:
+            for span in self._spans:
+                if span.end_s is not None:
+                    continue
+                if span.clock == CLOCK_SIM:
+                    span.end_s = span.start_s if sim_time_s is None else float(sim_time_s)
+                else:
+                    span.end_s = wall_now
+                span.status = STATUS_INCOMPLETE
+
+
+def worker_tracer() -> Tracer:
+    """A lightweight tracer for worker-process-local span recording.
+
+    Spans recorded here are drained and shipped back with the result;
+    ``perf_counter`` is CLOCK_MONOTONIC system-wide on Linux, so the
+    child's timestamps share the parent's wall origin.  Ids are
+    allocated from a *negative* range so :meth:`Tracer.absorb` can
+    distinguish batch-internal parent links (negative, remapped) from
+    the external session-side parent in the dispatched
+    :class:`~repro.obs.span.TraceContext` (positive, passed through).
+    """
+    return Tracer(id_start=-1, id_step=-1)

@@ -53,6 +53,7 @@ class _LocalStatefulHandle:
     def __init__(self, factory, name: str = "local") -> None:
         self.name = name
         self.obj = factory()
+        self.tracer = None
 
     def pid(self) -> None:  # symmetry with StatefulWorker
         return None
@@ -60,7 +61,19 @@ class _LocalStatefulHandle:
     def alive(self) -> bool:
         return True
 
-    def call(self, method: str, *args, **kwargs):
+    def attach_tracer(self, tracer) -> None:
+        """Record ``worker:`` spans in-process (symmetry with workers)."""
+        self.tracer = tracer
+
+    def call(self, method: str, *args, _obs_ctx=None, **kwargs):
+        if _obs_ctx is not None and self.tracer is not None:
+            with self.tracer.span(
+                f"worker:{method}",
+                category="worker",
+                trace_id=_obs_ctx.trace_id,
+                parent_id=_obs_ctx.span_id,
+            ):
+                return getattr(self.obj, method)(*args, **kwargs)
         return getattr(self.obj, method)(*args, **kwargs)
 
     def call_async(self, method: str, *args, **kwargs) -> _ImmediateFuture:

@@ -114,6 +114,18 @@ class Stage:
         self.pre_hooks = list(pre_hooks)
         self.post_hooks = list(post_hooks)
         self.timing = StageTiming(name)
+        # Observability attachment (repro.obs).  ``tracer`` is None by
+        # default so the untraced hot path pays a single attribute
+        # check; ``seq_fn`` extracts the frame sequence (trace id) from
+        # an item when it is not carried as an ``item.sequence``
+        # attribute.
+        self.tracer = None
+        self.seq_fn = None
+
+    def attach_tracer(self, tracer, seq_fn=None) -> None:
+        """Emit one span per item under the item's frame trace."""
+        self.tracer = tracer
+        self.seq_fn = seq_fn
 
     def add_pre_hook(self, hook) -> None:
         """Attach a boundary hook running before the stage body."""
@@ -125,15 +137,36 @@ class Stage:
 
     def __call__(self, item):
         start = perf_counter()
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            sequence = (
+                self.seq_fn(item)
+                if self.seq_fn is not None
+                else getattr(item, "sequence", None)
+            )
+            span = tracer.start_span(
+                self.name,
+                category="stage",
+                trace_id=sequence,
+                parent_id=tracer.frame_root(sequence),
+            )
         try:
             for hook in self.pre_hooks:
                 item = hook(item)
             item = self.fn(item)
             for hook in self.post_hooks:
                 item = hook(item)
-            return item
+        except BaseException:
+            if span is not None:
+                tracer.end_span(span, status="error")
+                span = None
+            raise
         finally:
+            if span is not None:
+                tracer.end_span(span)
             self.timing.record(perf_counter() - start)
+        return item
 
 
 class StageGraph:

@@ -12,6 +12,16 @@ Crash semantics are explicit: a dead worker raises
 session can degrade (skip the frame, force an INTRA restart, fall back
 to in-process execution) rather than wedge -- the same contract the
 PR 1 degradation ladder established for encoder failures.
+
+Observability: a call may carry a :class:`repro.obs.span.TraceContext`
+(keyword ``_obs_ctx`` on :meth:`StatefulWorker.call_async`).  The
+child then wraps the method execution in a ``worker`` span parented
+under that context and ships the closed spans back alongside the
+result, where they are absorbed into the session tracer attached via
+:meth:`StatefulWorker.attach_tracer`.  A worker that dies mid-call
+never ships its spans -- the *dispatching* side owns closing its span
+with an error status (see ``LiVoSender.encode``), so a crash leaves a
+closed error span in the trace rather than a leaked open one.
 """
 
 from __future__ import annotations
@@ -35,10 +45,11 @@ def _stateful_main(conn, factory) -> None:
     try:
         obj = factory()
     except Exception as error:  # construction failed: report and exit
-        conn.send((False, f"{type(error).__name__}: {error}"))
+        conn.send((False, f"{type(error).__name__}: {error}", None))
         conn.close()
         return
-    conn.send((True, None))
+    conn.send((True, None, None))
+    tracer = None  # lazily built on the first traced call
     while True:
         try:
             message = conn.recv()
@@ -46,16 +57,33 @@ def _stateful_main(conn, factory) -> None:
             break
         if message is None:  # orderly shutdown
             break
-        method, args, kwargs = message
+        method, args, kwargs, obs_ctx = message
+        spans = None
         try:
-            result = getattr(obj, method)(*args, **kwargs)
-            payload = (True, result)
+            if obs_ctx is not None:
+                if tracer is None:
+                    from repro.obs.tracer import worker_tracer
+
+                    tracer = worker_tracer()
+                with tracer.span(
+                    f"worker:{method}",
+                    category="worker",
+                    trace_id=obs_ctx.trace_id,
+                    parent_id=obs_ctx.span_id,
+                ):
+                    result = getattr(obj, method)(*args, **kwargs)
+            else:
+                result = getattr(obj, method)(*args, **kwargs)
+            payload_ok, payload_value = True, result
         except Exception as error:
-            payload = (False, f"{type(error).__name__}: {error}")
+            payload_ok, payload_value = False, f"{type(error).__name__}: {error}"
+        if tracer is not None and obs_ctx is not None:
+            spans = tracer.spans()
+            tracer = None  # fresh per call: spans ship exactly once
         try:
-            conn.send(payload)
+            conn.send((payload_ok, payload_value, spans))
         except (pickle.PicklingError, TypeError) as error:
-            conn.send((False, f"unpicklable result: {error}"))
+            conn.send((False, f"unpicklable result: {error}", spans))
         except (BrokenPipeError, OSError):
             break
     conn.close()
@@ -90,6 +118,7 @@ class StatefulWorker:
 
     def __init__(self, factory, name: str = "stateful-worker") -> None:
         self.name = name
+        self.tracer = None  # session tracer absorbing shipped spans
         ctx = mp.get_context("fork")
         self._conn, child_conn = ctx.Pipe()
         self._process = ctx.Process(
@@ -99,9 +128,13 @@ class StatefulWorker:
         self._process.start()
         child_conn.close()
         self._pending: _PendingCall | None = None
-        ok, detail = self._recv_raw()
+        ok, detail, _ = self._recv_raw()
         if not ok:
             raise RemoteError(f"{name} failed to construct: {detail}")
+
+    def attach_tracer(self, tracer) -> None:
+        """Absorb worker-shipped spans into ``tracer`` on each result."""
+        self.tracer = tracer
 
     @property
     def pid(self) -> int | None:
@@ -120,17 +153,23 @@ class StatefulWorker:
 
     def _receive(self):
         self._pending = None
-        ok, value = self._recv_raw()
+        ok, value, spans = self._recv_raw()
+        if spans and self.tracer is not None:
+            self.tracer.absorb(spans)
         if not ok:
             raise RemoteError(value)
         return value
 
-    def call_async(self, method: str, *args, **kwargs) -> _PendingCall:
-        """Dispatch a method call without waiting for the result."""
+    def call_async(self, method: str, *args, _obs_ctx=None, **kwargs) -> _PendingCall:
+        """Dispatch a method call without waiting for the result.
+
+        ``_obs_ctx`` (a :class:`~repro.obs.span.TraceContext`) asks the
+        worker to record a span for the execution and ship it back.
+        """
         if self._pending is not None:
             raise RuntimeError(f"{self.name} already has a call in flight")
         try:
-            self._conn.send((method, args, kwargs))
+            self._conn.send((method, args, kwargs, _obs_ctx))
         except (BrokenPipeError, OSError) as error:
             raise WorkerCrash(f"{self.name} died: {error}") from error
         self._pending = _PendingCall(self)

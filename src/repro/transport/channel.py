@@ -194,6 +194,21 @@ class WebRTCChannel:
         self._fec_repaired: set[int] = set()
         self._fec_repaired_frames: dict[tuple[int, int], list[int]] = {}
 
+    def metrics_into(self, registry) -> None:
+        """Fold this channel's counters into a ``repro.obs`` registry.
+
+        Registers the batch/scalar fast-path counters under their
+        established ``cache.transport_batch.*`` names plus per-stream
+        byte totals and loss/abandon counts.
+        """
+        registry.absorb_counters(self.batch_counters)
+        for stream_id, sent in enumerate(self.bytes_sent_per_stream):
+            registry.counter(f"transport.stream{stream_id}.bytes_sent").inc(sent)
+        registry.counter("transport.frames_lost").inc(len(self.frames_lost))
+        registry.counter("transport.frames_abandoned").inc(len(self._abandoned))
+        registry.counter("transport.marker_frames").inc(len(self.marker_frames))
+        registry.gauge("transport.target_rate_bps").set(self.target_rate_bps())
+
     # ------------------------------------------------------------------
     # Sender API
     # ------------------------------------------------------------------

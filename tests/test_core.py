@@ -1,5 +1,7 @@
 """Tests for the core LiVo pipeline: split control, sender, receiver, config."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -316,10 +318,30 @@ class TestLatencyStats:
         assert p50 == pytest.approx(0.1)
         assert p95 <= 0.15 + 1e-9
 
-    def test_latency_stats_empty(self):
+    def test_latency_stats_empty_is_nan_not_zero(self):
+        # No delivered frame means no measurement: NaN, not a fake
+        # "instant delivery" 0.0.
         report = SessionReport(
             scheme="LiVo", video="v", user_trace="u", network_trace="t",
             fps_target=30.0, duration_s=0.0, frames=[],
             mean_capacity_mbps=1.0, trace_scale=1.0,
         )
-        assert report.latency_stats() == (0.0, 0.0, 0.0)
+        assert all(math.isnan(value) for value in report.latency_stats())
+
+    def test_latency_stats_undelivered_frames_not_conflated_with_zero(self):
+        # A session where every frame was lost must not report the same
+        # latency as one where every frame arrived instantly.
+        lost = SessionReport(
+            scheme="LiVo", video="v", user_trace="u", network_trace="t",
+            fps_target=30.0, duration_s=0.1,
+            frames=[FrameRecord(0, 0.0, False, True)],
+            mean_capacity_mbps=1.0, trace_scale=1.0,
+        )
+        instant = SessionReport(
+            scheme="LiVo", video="v", user_trace="u", network_trace="t",
+            fps_target=30.0, duration_s=0.1,
+            frames=[FrameRecord(0, 0.0, True, False, delivery_time_s=0.0)],
+            mean_capacity_mbps=1.0, trace_scale=1.0,
+        )
+        assert instant.latency_stats() == (0.0, 0.0, 0.0)
+        assert all(math.isnan(value) for value in lost.latency_stats())

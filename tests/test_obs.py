@@ -1,0 +1,627 @@
+"""The observability layer (repro.obs) and the bugfix sweep around it.
+
+Contracts under test:
+
+- spans are deterministic under an injected clock, nest through the
+  thread-local context, and survive cross-process shipping with
+  parent links intact;
+- the metrics registry keeps exact quantiles and absorbs every
+  pre-existing telemetry channel behind its shims;
+- a traced session emits at least one span per frame for every
+  pipeline stage (capture, encode, transport, decode, render), closes
+  every span, and -- the prime directive -- leaves the SessionReport
+  byte-identical to an untraced run;
+- a StatefulWorker killed mid-frame leaves a *closed* error span in
+  the trace, never a leaked open one;
+- the stats/analysis bugfixes: MTTR must not count open episodes as
+  recoveries, and a measured 0.0 ms latency is a measurement, not a
+  missing value.
+"""
+
+import dataclasses
+import json
+import math
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.analysis import summarize_resilience
+from repro.analysis.resilience import _mttr
+from repro.capture.dataset import load_video
+from repro.capture.rgbd import MultiViewFrame, RGBDFrame
+from repro.capture.rig import default_rig
+from repro.core.config import SessionConfig
+from repro.core.sender import LiVoSender
+from repro.core.session import LiVoSession
+from repro.faults.plan import FaultPlan, LinkOutage
+from repro.metrics.latency import LIVO_STAGES, LatencyBreakdown
+from repro.obs import (
+    CLOCK_SIM,
+    CLOCK_WALL,
+    STATUS_INCOMPLETE,
+    FakeClock,
+    MetricsRegistry,
+    TraceContext,
+    Tracer,
+    chrome_trace_events,
+    frame_timelines,
+    format_timeline,
+    read_spans_jsonl,
+    worker_tracer,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.export import SIM_PID
+from repro.prediction.pose import user_traces_for_video
+from repro.runtime import Stage, StageTiming, StatefulWorker, make_executor
+from repro.transport.traces import trace_1
+
+
+class TestFakeClock:
+    def test_advance_and_set(self):
+        clock = FakeClock(10.0)
+        assert clock.now() == 10.0
+        clock.advance(2.5)
+        assert clock.now() == 12.5
+        clock.set(20.0)
+        assert clock.now() == 20.0
+
+    def test_backwards_time_rejected(self):
+        clock = FakeClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+        with pytest.raises(ValueError):
+            clock.set(4.9)
+
+
+class TestTracer:
+    def test_deterministic_spans_under_fake_clock(self):
+        tracer = Tracer(FakeClock(100.0))
+        span = tracer.start_span("encode", category="stage", trace_id=3)
+        tracer.clock.advance(0.25)
+        tracer.end_span(span)
+        assert span.start_s == 100.0
+        assert span.end_s == 100.25
+        assert span.duration_s == 0.25
+        assert span.clock == CLOCK_WALL
+        assert span.status == "ok"
+
+    def test_nested_spans_inherit_context(self):
+        tracer = Tracer(FakeClock())
+        outer = tracer.start_span("encode", trace_id=7)
+        inner = tracer.start_span("encode:color", category="kernel")
+        assert inner.trace_id == 7
+        assert inner.parent_id == outer.span_id
+        assert tracer.current() is inner
+        tracer.end_span(inner)
+        assert tracer.current() is outer
+        tracer.end_span(outer)
+        assert tracer.current() is None
+
+    def test_end_span_idempotent(self):
+        tracer = Tracer(FakeClock())
+        span = tracer.start_span("x")
+        tracer.clock.advance(1.0)
+        tracer.end_span(span)
+        first_end = span.end_s
+        tracer.clock.advance(1.0)
+        tracer.end_span(span, status="error")  # must not reopen/restamp
+        assert span.end_s == first_end and span.status == "ok"
+
+    def test_context_manager_marks_errors(self):
+        tracer = Tracer(FakeClock())
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (span,) = tracer.spans()
+        assert span.end_s is not None and span.status == "error"
+        assert tracer.open_spans() == []
+
+    def test_frame_roots_parent_their_stages(self):
+        tracer = Tracer(FakeClock())
+        root = tracer.open_frame(4, sim_time_s=0.133)
+        assert root.clock == CLOCK_SIM and root.trace_id == 4
+        assert tracer.frame_root(4) == root.span_id
+        assert tracer.frame_root(5) is None
+        assert tracer.frame_root(None) is None
+        tracer.close_frame(4, sim_time_s=0.3, status="rendered")
+        assert root.end_s == 0.3 and root.status == "rendered"
+        tracer.close_frame(4, sim_time_s=9.9, status="late")  # idempotent
+        assert root.end_s == 0.3 and root.status == "rendered"
+
+    def test_finish_closes_stragglers_incomplete(self):
+        tracer = Tracer(FakeClock(50.0))
+        wall = tracer.start_span("stuck")
+        sim = tracer.open_frame(0, sim_time_s=0.1)
+        tracer.clock.advance(2.0)
+        tracer.finish(sim_time_s=1.5)
+        assert wall.end_s == 52.0 and wall.status == STATUS_INCOMPLETE
+        assert sim.end_s == 1.5 and sim.status == STATUS_INCOMPLETE
+        assert tracer.open_spans() == []
+
+    def test_absorb_remaps_internal_parents_keeps_external(self):
+        session = Tracer(FakeClock())
+        dispatch = session.start_span("encode", trace_id=2)
+        remote = worker_tracer()
+        outer = remote.start_span(
+            "worker:encode", category="worker",
+            trace_id=2, parent_id=dispatch.span_id,
+        )
+        inner = remote.start_span("worker:dct", category="worker")
+        remote.end_span(inner)
+        remote.end_span(outer)
+        shipped = remote.spans()
+        old_ids = {span.span_id for span in shipped}
+        session.absorb(shipped)
+        session.end_span(dispatch)
+        absorbed = [s for s in session.spans() if s.category == "worker"]
+        outer_new = next(s for s in absorbed if s.name == "worker:encode")
+        inner_new = next(s for s in absorbed if s.name == "worker:dct")
+        # External parent (the dispatch context) passes through; the
+        # internal link follows the remap; no id collides with the
+        # session's own.
+        assert outer_new.parent_id == dispatch.span_id
+        assert inner_new.parent_id == outer_new.span_id
+        assert outer_new.span_id != dispatch.span_id
+        assert outer_new.span_id > 0 and inner_new.span_id > 0
+        assert {outer_new.span_id, inner_new.span_id}.isdisjoint(old_ids)
+
+    def test_instant_is_zero_duration(self):
+        tracer = Tracer(FakeClock())
+        mark = tracer.instant("fault:link_outage", "fault", trace_id=9, time_s=0.5)
+        assert mark.instant
+        assert mark.start_s == mark.end_s == 0.5
+        assert mark.attrs["instant"] is True
+
+
+class TestMetrics:
+    def test_counter_only_goes_up(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("frames")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("rate")
+        gauge.set(1.0)
+        gauge.set(2.5)
+        assert gauge.value == 2.5
+
+    def test_histogram_exact_quantiles(self):
+        histogram = MetricsRegistry().histogram("ms")
+        histogram.observe_many([1.0, 2.0, 3.0, 4.0])
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(1.0) == 4.0
+        assert histogram.quantile(0.5) == 2.5  # exact interpolation
+        assert histogram.mean == 2.5
+        histogram.observe(5.0)  # cache invalidated on write
+        assert histogram.quantile(1.0) == 5.0
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        with pytest.raises(KeyError):
+            registry.get("missing")
+
+    def test_cache_stats_shim(self):
+        registry = MetricsRegistry()
+        registry.absorb_cache_stats(
+            {"quality_features": {"hits": 10, "misses": 2, "hit_rate": 10 / 12}}
+        )
+        assert registry.get("cache.quality_features.hits").value == 10
+        assert registry.get("cache.quality_features.misses").value == 2
+        assert registry.get("cache.quality_features.hit_rate").value == pytest.approx(
+            10 / 12
+        )
+
+    def test_stage_timings_shim(self):
+        timing = StageTiming("encode")
+        timing.record(0.010)
+        timing.record(0.030)
+        registry = MetricsRegistry()
+        registry.absorb_stage_timings({"encode": timing})
+        histogram = registry.get("stage.encode.ms")
+        assert histogram.count == 2
+        assert histogram.mean == pytest.approx(20.0)
+
+    def test_format_table_lists_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("frames").inc(3)
+        registry.histogram("ms").observe(1.0)
+        table = registry.format_table()
+        assert "frames" in table and "ms" in table and "n=1" in table
+
+
+def _sample_spans():
+    """A tiny deterministic trace: frame root + stage + instant."""
+    tracer = Tracer(FakeClock(100.0))
+    tracer.open_frame(0, sim_time_s=0.0)
+    stage = tracer.start_span(
+        "encode", category="stage", trace_id=0, parent_id=tracer.frame_root(0)
+    )
+    tracer.clock.advance(0.004)
+    tracer.end_span(stage)
+    tracer.instant("fault:burst_loss", "fault", trace_id=0, time_s=0.01)
+    tracer.add_span(
+        "transport:color", "transport", trace_id=0, start_s=0.0, end_s=0.05,
+        parent_id=tracer.frame_root(0),
+    )
+    tracer.close_frame(0, sim_time_s=0.1, status="rendered")
+    return tracer.spans()
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        spans = _sample_spans()
+        path = write_spans_jsonl(spans, tmp_path / "trace.jsonl")
+        loaded = read_spans_jsonl(path)
+        assert [dataclasses.asdict(s) for s in loaded] == [
+            dataclasses.asdict(s) for s in spans
+        ]
+
+    def test_chrome_events_shape(self):
+        events = chrome_trace_events(_sample_spans())
+        by_ph = {}
+        for event in events:
+            by_ph.setdefault(event["ph"], []).append(event)
+        # Metadata rows for the real process and the synthetic sim one.
+        pids = {event["pid"] for event in by_ph["M"]}
+        assert SIM_PID in pids and os.getpid() in pids
+        # The wall stage span is a complete event rebased to ts 0.
+        (stage,) = by_ph["X"]
+        assert stage["name"] == "encode"
+        assert stage["ts"] == pytest.approx(0.0)
+        assert stage["dur"] == pytest.approx(4000.0)  # 4 ms in us
+        assert stage["args"]["trace"] == 0
+        # Sim spans (frame root + transport) are async begin/end pairs
+        # with matching ids under the synthetic pid.
+        assert len(by_ph["b"]) == len(by_ph["e"]) == 2
+        for begin in by_ph["b"]:
+            assert begin["pid"] == SIM_PID
+            assert any(e["id"] == begin["id"] for e in by_ph["e"])
+        # The fault edge is an instant mark.
+        (mark,) = by_ph["i"]
+        assert mark["name"] == "fault:burst_loss" and mark["s"] == "p"
+
+    def test_write_chrome_trace_is_loadable_json(self, tmp_path):
+        path = write_chrome_trace(
+            _sample_spans(), tmp_path / "trace.json", metadata={"scheme": "LiVo"}
+        )
+        document = json.loads(path.read_text())
+        assert isinstance(document["traceEvents"], list)
+        assert document["metadata"]["scheme"] == "LiVo"
+        assert document["displayTimeUnit"] == "ms"
+
+
+class TestTimeline:
+    def test_frame_timelines_aggregate_by_category(self):
+        timelines = frame_timelines(_sample_spans())
+        assert list(timelines) == [0]
+        row = timelines[0]
+        assert row["status"] == "rendered"
+        assert row["start_s"] == 0.0 and row["end_s"] == 0.1
+        assert row["stages"]["encode"] == pytest.approx(4.0)
+        assert row["transport_ms"]["transport:color"] == pytest.approx(50.0)
+        assert row["events"] == ["fault:burst_loss"]
+
+    def test_format_timeline_renders_and_limits(self):
+        timelines = frame_timelines(_sample_spans())
+        table = format_timeline(timelines)
+        assert "rendered" in table and "encode" in table
+        assert format_timeline({}) == "(no trace recorded)"
+
+
+class TestStageTracing:
+    def test_stage_emits_span_per_item(self):
+        tracer = Tracer(FakeClock())
+        stage = Stage("double", lambda x: 2 * x)
+        stage.attach_tracer(tracer, seq_fn=lambda item: item)
+        assert stage(3) == 6
+        (span,) = tracer.spans()
+        assert span.name == "double" and span.category == "stage"
+        assert span.trace_id == 3 and span.end_s is not None
+
+    def test_stage_error_closes_span_with_error_status(self):
+        tracer = Tracer(FakeClock())
+
+        def boom(item):
+            raise RuntimeError("stage body failed")
+
+        stage = Stage("explode", boom)
+        stage.attach_tracer(tracer, seq_fn=lambda item: item)
+        with pytest.raises(RuntimeError):
+            stage(1)
+        (span,) = tracer.spans()
+        assert span.status == "error" and span.end_s is not None
+        assert tracer.open_spans() == []
+
+
+class _TracedToy:
+    """Stateful object for worker span-shipping tests."""
+
+    def work(self, x):
+        return x + 1
+
+    def fail(self):
+        raise ValueError("remote failure")
+
+
+class TestWorkerSpanShipping:
+    def test_traced_call_ships_spans_back(self):
+        session = Tracer()
+        dispatch = session.start_span("encode", trace_id=5)
+        worker = StatefulWorker(_TracedToy, name="traced-toy")
+        worker.attach_tracer(session)
+        try:
+            ctx = TraceContext(5, dispatch.span_id)
+            assert worker.call("work", 1, _obs_ctx=ctx) == 2
+        finally:
+            worker.close()
+        session.end_span(dispatch)
+        shipped = [s for s in session.spans() if s.category == "worker"]
+        assert len(shipped) == 1
+        span = shipped[0]
+        assert span.name == "worker:work"
+        assert span.trace_id == 5 and span.parent_id == dispatch.span_id
+        assert span.end_s is not None and span.status == "ok"
+        assert span.pid != os.getpid()  # recorded in the child
+
+    def test_untraced_call_ships_nothing(self):
+        session = Tracer()
+        worker = StatefulWorker(_TracedToy, name="untraced-toy")
+        worker.attach_tracer(session)
+        try:
+            assert worker.call("work", 1) == 2
+        finally:
+            worker.close()
+        assert session.spans() == []
+
+    def test_remote_error_still_ships_closed_error_span(self):
+        from repro.runtime import RemoteError
+
+        session = Tracer()
+        dispatch = session.start_span("encode", trace_id=1)
+        worker = StatefulWorker(_TracedToy, name="failing-toy")
+        worker.attach_tracer(session)
+        try:
+            with pytest.raises(RemoteError):
+                worker.call("fail", _obs_ctx=TraceContext(1, dispatch.span_id))
+        finally:
+            worker.close()
+        session.end_span(dispatch)
+        (span,) = [s for s in session.spans() if s.category == "worker"]
+        assert span.status == "error" and span.end_s is not None
+
+
+def _synthetic_frame(rig, sequence=0):
+    height = rig.cameras[0].intrinsics.height
+    width = rig.cameras[0].intrinsics.width
+    rng = np.random.default_rng(7 + sequence)
+    views = []
+    for index in range(len(rig.cameras)):
+        depth = rng.integers(500, 3000, (height, width)).astype(np.uint16)
+        color = rng.integers(0, 255, (height, width, 3)).astype(np.uint8)
+        views.append(RGBDFrame(color, depth, camera_id=index, sequence=sequence))
+    return MultiViewFrame(views, sequence=sequence)
+
+
+class TestWorkerCrashSpans:
+    def test_killed_worker_leaves_closed_error_span_not_leak(self):
+        """Satellite contract: kill the encode worker mid-frame -- the
+        trace must contain *closed* kernel spans with an error status
+        for the doomed frame, and zero open spans.  The dispatching
+        side owns the close; the dead child never ships anything."""
+        rig = default_rig(num_cameras=2, width=32, height=24)
+        config = SessionConfig(
+            num_cameras=2, camera_width=32, camera_height=24, gop_size=5
+        )
+        sender = LiVoSender(rig.cameras, config)
+        tracer = Tracer()
+        executor = make_executor(jobs=2, kind="process")
+        try:
+            sender.attach_executor(executor)
+            sender.attach_tracer(tracer)
+            first = sender.process(_synthetic_frame(rig, 0), 2e6, 0.1)
+            assert first is not None and first.total_bytes > 0
+            os.kill(sender._color_handle.pid, signal.SIGKILL)
+            crashed = sender.process(_synthetic_frame(rig, 1), 2e6, 0.1)
+            assert crashed is None and sender.worker_crashes == 1
+            recovered = sender.process(_synthetic_frame(rig, 2), 2e6, 0.1)
+            assert recovered is not None and recovered.total_bytes > 0
+        finally:
+            sender.close()
+            executor.close()
+
+        spans = tracer.spans()
+        doomed = [s for s in spans if s.trace_id == 1 and s.category == "kernel"]
+        assert {s.name for s in doomed} == {"encode:color", "encode:depth"}
+        for span in doomed:
+            assert span.end_s is not None, "crash leaked an open span"
+            assert span.status == "error"
+        # The healthy frames' kernel spans closed ok, and nothing --
+        # on any frame -- was left open.
+        healthy = [s for s in spans if s.trace_id == 0 and s.category == "kernel"]
+        assert healthy and all(s.status == "ok" for s in healthy)
+        assert tracer.open_spans() == []
+
+
+@pytest.fixture(scope="module")
+def session_workload():
+    config = SessionConfig(
+        num_cameras=3, camera_width=32, camera_height=24,
+        scene_sample_budget=5000, gop_size=5, quality_every=3,
+    )
+    _, scene = load_video("office1", sample_budget=5000)
+    user = user_traces_for_video("office1", 26)[0]
+    return config, scene, user
+
+
+FRAMES = 16
+
+
+@pytest.fixture(scope="module")
+def traced_pair(session_workload):
+    """(untraced report, traced report) over the identical workload."""
+    config, scene, user = session_workload
+    plain = LiVoSession(config).run(scene, user, trace_1(duration_s=5), FRAMES)
+    traced_config = dataclasses.replace(config, trace=True)
+    traced = LiVoSession(traced_config).run(
+        scene, user, trace_1(duration_s=5), FRAMES
+    )
+    return plain, traced
+
+
+class TestSessionTracing:
+    def test_tracing_never_steers_the_session(self, traced_pair):
+        plain, traced = traced_pair
+        assert dataclasses.asdict(plain) == dataclasses.asdict(traced)
+        assert plain.trace is None  # default off: no tracer, no cost
+        assert traced.trace is not None
+
+    def test_every_frame_has_every_pipeline_stage(self, traced_pair):
+        _, traced = traced_pair
+        spans = traced.trace.spans()
+        by_frame: dict[int, set] = {}
+        for span in spans:
+            if span.trace_id is not None:
+                by_frame.setdefault(span.trace_id, set()).add(span.name)
+        for frame in traced.frames:
+            names = by_frame.get(frame.sequence, set())
+            assert "capture" in names and "encode" in names, frame.sequence
+            if frame.rendered:
+                assert {"transport:color", "transport:depth"} <= names
+                assert "decode" in names
+                assert "render" in names
+
+    def test_frame_roots_cover_every_frame_and_close(self, traced_pair):
+        _, traced = traced_pair
+        roots = [s for s in traced.trace.spans() if s.category == "frame"]
+        assert {s.trace_id for s in roots} == {f.sequence for f in traced.frames}
+        statuses = {s.status for s in roots}
+        assert statuses <= {
+            "rendered", "late", "frozen", "undecodable", "undelivered",
+            "skipped", "encode_failed", "empty",
+        }
+        assert all(s.end_s is not None for s in roots)
+        assert traced.trace.open_spans() == []
+
+    def test_rendered_roots_match_report(self, traced_pair):
+        _, traced = traced_pair
+        rendered_roots = {
+            s.trace_id
+            for s in traced.trace.spans()
+            if s.category == "frame" and s.status == "rendered"
+        }
+        rendered_frames = {f.sequence for f in traced.frames if f.rendered}
+        assert rendered_roots == rendered_frames
+
+    def test_metrics_registry_always_attached(self, traced_pair):
+        plain, traced = traced_pair
+        for report in (plain, traced):
+            registry = report.metrics
+            assert registry is not None
+            names = registry.names()
+            assert any(name.startswith("stage.") for name in names)
+            assert any(name.startswith("transport.") for name in names)
+            assert registry.get("transport.target_rate_bps").value > 0
+        table = plain.metrics.format_table()
+        assert "transport.frames_lost" in table
+
+    def test_timeline_summary_on_report(self, traced_pair):
+        plain, traced = traced_pair
+        timelines = traced.frame_timeline()
+        assert set(timelines) == {f.sequence for f in traced.frames}
+        table = traced.timeline_table(limit=5)
+        assert "capture" in table and "encode" in table
+        assert plain.frame_timeline() == {}
+        assert plain.timeline_table() == "(no trace recorded)"
+
+    def test_chrome_export_of_a_real_session(self, traced_pair, tmp_path):
+        _, traced = traced_pair
+        path = write_chrome_trace(traced.trace.spans(), tmp_path / "session.json")
+        document = json.loads(path.read_text())
+        phases = {event["ph"] for event in document["traceEvents"]}
+        assert {"X", "b", "e", "M"} <= phases
+
+
+class TestMttrOpenEpisode:
+    """Satellite contract: an outage that outlives the session leaves
+    an *open* degradation episode -- it must not count as a recovery
+    nor deflate MTTR toward 'recovered instantly'."""
+
+    @pytest.fixture(scope="class")
+    def stuck_report(self, session_workload):
+        config, scene, user = session_workload
+        plan = FaultPlan(seed=11, link_outages=(LinkOutage(0.4, 30.0),))
+        return LiVoSession(config).run(
+            scene, user, trace_1(duration_s=5), 30, fault_plan=plan
+        )
+
+    def test_open_episode_is_not_a_recovery(self, stuck_report):
+        episodes = stuck_report.degradation_episodes()
+        assert len(episodes) == 1
+        start, end = episodes[0]
+        assert end is None, "outage outlived the session: episode must stay open"
+        counts = stuck_report.fault_counts()
+        assert counts.get("degrade_step", 0) >= 1
+        assert counts.get("recover_step", 0) == 0
+
+    def test_mttr_is_nan_not_zero(self, stuck_report):
+        assert math.isnan(stuck_report.mttr_s)
+        summary = summarize_resilience([stuck_report], sessions_attempted=1)
+        assert math.isnan(summary.mttr_s)
+
+    def test_mttr_helper_semantics(self):
+        assert _mttr([], open_episodes=0) == 0.0  # never degraded
+        assert math.isnan(_mttr([], open_episodes=2))  # never recovered
+        # Completed episodes average; the open one is excluded, not
+        # counted as a zero-length recovery.
+        assert _mttr([1.0, 3.0], open_episodes=1) == pytest.approx(2.0)
+
+    def test_clean_session_mttr_zero(self, traced_pair):
+        plain, _ = traced_pair
+        if plain.degradation_episodes():
+            pytest.skip("clean workload unexpectedly degraded")
+        assert plain.mttr_s == 0.0
+
+
+class TestLatencyBreakdownMeasuredZero:
+    """Satellite contract: a measured 0.0 ms (or sub-ms) transmission
+    latency is a legal measurement and must be honored; only None and
+    NaN mean 'unmeasured' and fall back to the Table 6 model."""
+
+    def test_zero_ms_is_a_measurement(self):
+        breakdown = LatencyBreakdown("LiVo", LIVO_STAGES, measured_transmission_ms=0.0)
+        assert breakdown.transmission_ms == 0.0
+        assert breakdown.end_to_end_ms == pytest.approx(
+            breakdown.sender_ms + breakdown.receiver_ms + LIVO_STAGES.rendering
+        )
+
+    def test_sub_millisecond_is_honored(self):
+        breakdown = LatencyBreakdown("LiVo", LIVO_STAGES, measured_transmission_ms=0.4)
+        assert breakdown.transmission_ms == 0.4
+
+    def test_none_falls_back_to_model(self):
+        breakdown = LatencyBreakdown("LiVo", LIVO_STAGES)
+        assert breakdown.transmission_ms == LIVO_STAGES.transmission
+
+    def test_nan_falls_back_to_model(self):
+        breakdown = LatencyBreakdown(
+            "LiVo", LIVO_STAGES, measured_transmission_ms=float("nan")
+        )
+        assert breakdown.transmission_ms == LIVO_STAGES.transmission
+        rows = dict(breakdown.rows())
+        assert rows["transmission"] == LIVO_STAGES.transmission

@@ -80,7 +80,7 @@ class TestCLI:
     def test_run_command_small_session(self, capsys):
         code = main([
             "run", "--video", "dance5", "--scheme", "LiVo",
-            "--trace", "trace-2", "--frames", "6", "--cameras", "4",
+            "--net-trace", "trace-2", "--frames", "6", "--cameras", "4",
         ])
         assert code == 0
         assert "LiVo on dance5" in capsys.readouterr().out
