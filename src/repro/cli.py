@@ -231,8 +231,25 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+_SCENARIO_FLAGS = {
+    "--scenario",
+    "--list-scenarios",
+    "--replay",
+    "--replay-corpus",
+    "--run-zoo",
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # Scenario commands use top-level flags (`python -m repro --scenario
+    # NAME --record r.jsonl`), routed before the subcommand parser.
+    if argv and (argv[0] == "scenario" or argv[0].split("=")[0] in _SCENARIO_FLAGS):
+        from repro.scenario.cli import main as scenario_main
+
+        return scenario_main(argv[1:] if argv[0] == "scenario" else argv)
     args = build_parser().parse_args(argv)
     if args.command == "videos":
         return _cmd_videos()

@@ -125,6 +125,36 @@ class MultiwaySender:
         """Receivers currently served."""
         return list(self.predictors)
 
+    def add_receiver(self, name: str) -> None:
+        """A receiver joins the conference mid-session.
+
+        It starts with a cold frustum predictor (no pose history), so
+        in shared mode the union cull simply ignores it until its
+        predictor warms up -- exactly what a late joiner looks like.
+        """
+        if name in self.predictors:
+            raise ValueError(f"receiver {name!r} already present")
+        self.predictors[name] = FrustumPredictor(
+            self.device, guard_band_m=self.config.guard_band_m
+        )
+        if self.mode == "unicast":
+            self._senders[name] = LiVoSender(self.cameras, self.config, self.device)
+
+    def remove_receiver(self, name: str) -> None:
+        """A receiver leaves the conference mid-session."""
+        if name not in self.predictors:
+            raise ValueError(f"receiver {name!r} not present")
+        del self.predictors[name]
+        if self.mode == "unicast":
+            self._senders.pop(name).close()
+
+    def close(self) -> None:
+        """Release every underlying sender's encoder workers."""
+        for sender in self._senders.values():
+            sender.close()
+        if self._shared_sender is not None:
+            self._shared_sender.close()
+
     def observe_pose(self, receiver: str, pose: Pose, timestamp_s: float) -> None:
         """Fold in a pose report from one receiver."""
         self.predictors[receiver].observe(pose, timestamp_s)

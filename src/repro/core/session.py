@@ -533,7 +533,7 @@ class LiVoSession(_SessionBase):
             """Feed the watchdog; record ladder transitions as events."""
             if watchdog is None:
                 return
-            new_level = watchdog.observe(on_time)
+            new_level = watchdog.observe(on_time, now)
             if new_level is None:
                 return
             recovered = on_time
@@ -850,6 +850,11 @@ class LiVoSession(_SessionBase):
         if injector is not None:
             injector.metrics_into(registry)
         registry.absorb_fault_events(events)
+        if watchdog is not None:
+            # The drain observes deadlines at duration + 5 s; close the
+            # time-per-rung accounting on the same sim clock.
+            watchdog.finalize(duration + 5.0)
+            watchdog.metrics_into(registry)
         report.attach_metrics(registry)
         if tracer is not None:
             report.attach_trace(tracer)

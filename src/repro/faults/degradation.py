@@ -88,7 +88,15 @@ class ResilienceConfig:
 
 
 class StallWatchdog:
-    """Counts deadline outcomes and walks the degradation ladder."""
+    """Counts deadline outcomes and walks the degradation ladder.
+
+    Besides the transition logic, the watchdog keeps sim-clock
+    time-per-rung accounting (``time_at_level``) when its caller passes
+    observation times, and can fold its whole state -- current rung,
+    transition counts, seconds per rung -- into a
+    :class:`repro.obs.MetricsRegistry` via :meth:`metrics_into`, so
+    scenario diffs and dashboards can assert on ladder behavior.
+    """
 
     def __init__(self, config: ResilienceConfig) -> None:
         self.config = config
@@ -97,6 +105,40 @@ class StallWatchdog:
         self._goods = 0
         self.steps_down = 0
         self.steps_up = 0
+        # Sim-clock seconds spent at each rung (only accumulated when
+        # observe()/finalize() are given times; deterministic because
+        # the session clock is simulated).
+        self.time_at_level: dict[int, float] = {}
+        self._level_since: float = 0.0
+
+    def _account(self, now: float) -> None:
+        """Attribute sim time since the last observation to the rung."""
+        elapsed = now - self._level_since
+        if elapsed > 0.0:
+            self.time_at_level[self.level] = (
+                self.time_at_level.get(self.level, 0.0) + elapsed
+            )
+            self._level_since = now
+
+    def finalize(self, end_s: float) -> None:
+        """Close time-per-rung accounting at the session's end time."""
+        self._account(end_s)
+
+    def metrics_into(self, registry) -> None:
+        """Fold ladder state into a ``repro.obs`` registry.
+
+        Gauges: ``ladder.level`` (final rung), ``ladder.time_at.<rung>_s``
+        per rung.  Counters: ``ladder.steps_down`` / ``ladder.steps_up``
+        / ``ladder.transitions``.
+        """
+        registry.gauge("ladder.level").set(float(self.level))
+        registry.counter("ladder.steps_down").inc(self.steps_down)
+        registry.counter("ladder.steps_up").inc(self.steps_up)
+        registry.counter("ladder.transitions").inc(self.steps_down + self.steps_up)
+        for level in range(LEVEL_NORMAL, self.config.max_level + 1):
+            registry.gauge(f"ladder.time_at.{level_name(level)}_s").set(
+                self.time_at_level.get(level, 0.0)
+            )
 
     def skips_tick(self, sequence: int) -> bool:
         """Whether the ladder's fps reduction skips this capture tick."""
@@ -117,12 +159,15 @@ class StallWatchdog:
             else 1.0
         )
 
-    def observe(self, on_time: bool) -> int | None:
+    def observe(self, on_time: bool, now: float | None = None) -> int | None:
         """Fold in one render-deadline outcome.
 
-        Returns the new level when this observation caused a
-        transition, else None.
+        ``now`` (simulated seconds) enables time-per-rung accounting;
+        without it the transition logic is unchanged.  Returns the new
+        level when this observation caused a transition, else None.
         """
+        if now is not None:
+            self._account(now)
         if on_time:
             self._misses = 0
             self._goods += 1

@@ -20,7 +20,7 @@ FaultInjector` executes them deterministically from the plan's seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "CameraFault",
@@ -38,6 +38,31 @@ def _check_window(start_s: float, end_s: float) -> None:
         raise ValueError("fault window start must be non-negative")
     if end_s <= start_s:
         raise ValueError("fault window must end after it starts")
+
+
+def _check_no_overlap(windows, label: str) -> None:
+    """Reject overlapping windows aimed at the same target.
+
+    Two windows for the same target active at once have no defined
+    semantics (which camera mode wins? do two loss chains both step?),
+    so a plan that schedules them is a spec bug, not a chaos scenario.
+    """
+    ordered = sorted(windows, key=lambda w: (w.start_s, w.end_s))
+    for previous, current in zip(ordered, ordered[1:]):
+        if current.start_s < previous.end_s:
+            raise ValueError(
+                f"overlapping {label}: "
+                f"[{previous.start_s:g}, {previous.end_s:g}) and "
+                f"[{current.start_s:g}, {current.end_s:g})"
+            )
+
+
+def _check_unique_sequences(faults, label: str) -> None:
+    seen: set[int] = set()
+    for fault in faults:
+        if fault.sequence in seen:
+            raise ValueError(f"duplicate {label} at sequence {fault.sequence}")
+        seen.add(fault.sequence)
 
 
 @dataclass(frozen=True)
@@ -149,6 +174,70 @@ class FaultPlan:
         object.__setattr__(self, "burst_loss", tuple(self.burst_loss))
         object.__setattr__(self, "encoder_faults", tuple(self.encoder_faults))
         object.__setattr__(self, "corrupted_frames", tuple(self.corrupted_frames))
+        # Same-target overlap validation.  Camera faults may overlap in
+        # time across *different* cameras (a rig-wide event); two
+        # windows on one camera are contradictory.
+        by_camera: dict[int, list[CameraFault]] = {}
+        for fault in self.camera_faults:
+            by_camera.setdefault(fault.camera_id, []).append(fault)
+        for camera_id, faults in by_camera.items():
+            _check_no_overlap(faults, f"camera faults for camera {camera_id}")
+        _check_no_overlap(self.link_outages, "link outages")
+        _check_no_overlap(self.burst_loss, "burst-loss windows")
+        _check_unique_sequences(self.encoder_faults, "encoder fault")
+        _check_unique_sequences(self.corrupted_frames, "frame corruption")
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (scenario artifact headers)."""
+        return {
+            "seed": self.seed,
+            "camera_faults": [
+                {
+                    "camera_id": f.camera_id,
+                    "start_s": f.start_s,
+                    "end_s": f.end_s,
+                    "mode": f.mode,
+                }
+                for f in self.camera_faults
+            ],
+            "link_outages": [
+                {"start_s": o.start_s, "end_s": o.end_s} for o in self.link_outages
+            ],
+            "burst_loss": [
+                {
+                    "start_s": w.start_s,
+                    "end_s": w.end_s,
+                    "p_enter": w.p_enter,
+                    "p_exit": w.p_exit,
+                    "loss_in_bad": w.loss_in_bad,
+                }
+                for w in self.burst_loss
+            ],
+            "encoder_faults": [f.sequence for f in self.encoder_faults],
+            "corrupted_frames": [f.sequence for f in self.corrupted_frames],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan serialized by :meth:`to_dict` (validated anew)."""
+        return cls(
+            seed=int(data.get("seed", 0)),
+            camera_faults=tuple(
+                CameraFault(**entry) for entry in data.get("camera_faults", ())
+            ),
+            link_outages=tuple(
+                LinkOutage(**entry) for entry in data.get("link_outages", ())
+            ),
+            burst_loss=tuple(
+                BurstLossWindow(**entry) for entry in data.get("burst_loss", ())
+            ),
+            encoder_faults=tuple(
+                EncoderFault(sequence) for sequence in data.get("encoder_faults", ())
+            ),
+            corrupted_frames=tuple(
+                FrameCorruption(sequence) for sequence in data.get("corrupted_frames", ())
+            ),
+        )
 
     @property
     def is_empty(self) -> bool:

@@ -1,0 +1,184 @@
+"""Run a :class:`~repro.scenario.spec.ScenarioSpec` to a SessionReport.
+
+Two execution paths:
+
+- ``kind="livo"`` hands the spec straight to
+  :class:`repro.core.session.LiVoSession` -- the full interleaved
+  replay with fault injection, the watchdog ladder, and the obs
+  timeline.
+- ``kind="multiway"`` drives :class:`repro.core.multiway.MultiwaySender`
+  through the spec's join/leave churn on a simulated clock with a
+  simple serialization+propagation delivery model.  Multi-party
+  conferencing has no full transport emulation yet, so this path is a
+  deliberately lighter harness; what matters for the regression corpus
+  is that it is deterministic in the spec.
+
+Both paths are byte-deterministic: same spec, same report.
+"""
+
+from __future__ import annotations
+
+from repro.capture.dataset import load_video
+from repro.capture.rig import default_rig
+from repro.core.multiway import MultiwaySender
+from repro.core.session import LiVoSession
+from repro.core.stats import FaultEvent, FrameRecord, SessionReport
+from repro.perf.capture import CachedFrameSource
+from repro.prediction.pose import user_traces_for_video
+from repro.scenario.spec import ScenarioSpec
+
+__all__ = ["run_scenario"]
+
+
+def run_scenario(spec: ScenarioSpec) -> SessionReport:
+    """Execute one scenario deterministically and return its report."""
+    if spec.kind == "multiway":
+        return _run_multiway(spec)
+    return _run_livo(spec)
+
+
+def _load_workload(spec: ScenarioSpec):
+    _, scene = load_video(spec.video, sample_budget=spec.sample_budget)
+    traces = user_traces_for_video(spec.video, spec.frames + 10)
+    user = traces[spec.user_index % len(traces)]
+    return scene, user
+
+
+def _run_livo(spec: ScenarioSpec) -> SessionReport:
+    scene, user = _load_workload(spec)
+    session = LiVoSession(spec.build_config())
+    return session.run(
+        scene,
+        user,
+        spec.build_trace(),
+        spec.frames,
+        video_name=spec.video,
+        scheme_name=spec.scheme,
+        fault_plan=None if spec.faults.is_empty else spec.faults,
+    )
+
+
+def _run_multiway(spec: ScenarioSpec) -> SessionReport:
+    """Churn harness: peers join/leave a MultiwaySender mid-session.
+
+    Delivery model per tick: the (shared or summed) stream serializes
+    at the trace's instantaneous capacity plus one propagation delay; a
+    frame renders when that lands inside the playout budget.  Faults
+    are limited to churn events themselves (recorded as FaultEvents),
+    which is plenty to regression-pin add/remove_receiver behavior.
+    """
+    config = spec.build_config()
+    _, scene = load_video(spec.video, sample_budget=spec.sample_budget)
+    rig = default_rig(
+        num_cameras=spec.num_cameras,
+        width=spec.camera_width,
+        height=spec.camera_height,
+    )
+    source = CachedFrameSource(rig, scene) if config.kernel_cache else None
+    pose_traces = user_traces_for_video(spec.video, spec.frames + 10)
+
+    sender = MultiwaySender(
+        rig.cameras,
+        config,
+        list(spec.initial_peers),
+        mode=spec.multiway_mode,
+    )
+    # Peers get pose traces by join order, so a rejoining peer resumes a
+    # deterministic trajectory.
+    peer_traces: dict[str, object] = {}
+    join_counter = 0
+
+    def assign_trace(peer: str) -> None:
+        nonlocal join_counter
+        if peer not in peer_traces:
+            peer_traces[peer] = pose_traces[join_counter % len(pose_traces)]
+            join_counter += 1
+
+    for peer in spec.initial_peers:
+        assign_trace(peer)
+
+    bandwidth = spec.build_trace()
+    interval = config.frame_interval_s
+    horizon_s = config.pose_feedback_lag_frames * interval
+    churn = sorted(spec.churn, key=lambda event: event.time_s)
+    churn_index = 0
+    events: list[FaultEvent] = []
+    records: list[FrameRecord] = []
+
+    for sequence in range(spec.frames):
+        now = sequence * interval
+        while churn_index < len(churn) and churn[churn_index].time_s <= now:
+            event = churn[churn_index]
+            churn_index += 1
+            if event.action == "join":
+                sender.add_receiver(event.peer)
+                assign_trace(event.peer)
+            else:
+                sender.remove_receiver(event.peer)
+            events.append(
+                FaultEvent(
+                    time_s=now,
+                    category=f"peer_{event.action}",
+                    detail=f"{event.peer} ({len(sender.receiver_names)} active)",
+                    sequence=sequence,
+                    recovered=event.action == "join",
+                )
+            )
+        active = sender.receiver_names
+        if not active:
+            records.append(
+                FrameRecord(
+                    sequence=sequence,
+                    capture_time_s=now,
+                    rendered=False,
+                    stalled=False,
+                    empty=True,
+                )
+            )
+            continue
+        for peer in active:
+            sender.observe_pose(peer, peer_traces[peer].pose_at_frame(sequence), now)
+        frame = source.capture(sequence) if source is not None else rig.capture(
+            scene, sequence
+        )
+        capacity_bps = bandwidth.capacity_bps_at(now)
+        target = 0.5 * capacity_bps
+        result = sender.process(frame, target, horizon_s)
+        wire_bytes = result.total_bytes
+        record = FrameRecord(
+            sequence=sequence,
+            capture_time_s=now,
+            rendered=False,
+            stalled=True,
+            wire_bytes=wire_bytes,
+            total_points=frame.total_points(),
+        )
+        if wire_bytes > 0 and capacity_bps > 0.0:
+            delivery = (
+                now
+                + wire_bytes * 8.0 / capacity_bps
+                + config.link.propagation_delay_s
+            )
+            record.delivery_time_s = delivery
+            if delivery <= now + config.playout_delay_s:
+                record.rendered = True
+                record.stalled = False
+        elif wire_bytes == 0:
+            record.stalled = False
+            record.empty = True
+        records.append(record)
+
+    sender.close()
+
+    return SessionReport(
+        scheme=f"Multiway-{spec.multiway_mode}",
+        video=spec.video,
+        user_trace=",".join(spec.initial_peers),
+        network_trace=bandwidth.name,
+        fps_target=config.fps,
+        duration_s=spec.frames * interval,
+        frames=records,
+        mean_capacity_mbps=bandwidth.stats().mean,
+        trace_scale=1.0,
+        fault_events=events,
+    )

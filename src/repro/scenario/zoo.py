@@ -1,0 +1,228 @@
+"""The scenario zoo: named chaos scenarios well beyond the paper's traces.
+
+Each entry is a declarative :class:`~repro.scenario.spec.ScenarioSpec`
+combining a bandwidth schedule, a fault plan, a mobility profile, and a
+scheme.  Capacities are absolute (``trace_scale=1.0``) and sized to the
+small 4-camera 32x24 scenario rig, whose raw rate is ~3.7 Mbps at
+30 fps -- so "healthy" is ~2.5-3.5 Mbps and "crunch" is ~0.1 Mbps
+(below the encoder floor, the regime that forces the degradation
+ladder down).
+
+The zoo is the standing regression corpus: every scenario is recorded
+into ``tests/goldens/`` and replayed in CI, so a behavior change in any
+layer -- capture, codec, transport, GCC, the watchdog -- shows up as a
+golden diff naming the first divergent frame.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import (
+    BurstLossWindow,
+    CameraFault,
+    EncoderFault,
+    FaultPlan,
+    FrameCorruption,
+    LinkOutage,
+)
+from repro.scenario.spec import ChurnEvent, ScenarioSpec, TraceSegment, TraceSpec
+
+__all__ = ["SCENARIOS", "get_scenario", "scenario_names"]
+
+
+def _flat(mbps: float, duration_s: float = 4.0, **kwargs) -> TraceSpec:
+    return TraceSpec(segments=(TraceSegment(duration_s, mbps),), **kwargs)
+
+
+_ZOO: tuple[ScenarioSpec, ...] = (
+    ScenarioSpec(
+        name="clean-baseline",
+        description="steady 3 Mbps link, no faults: the golden sanity run",
+        trace=_flat(3.0, label="steady-3mbps"),
+        frames=60,
+        seed=101,
+        tags=("baseline",),
+    ),
+    ScenarioSpec(
+        name="handoff-cellular-wifi",
+        description=(
+            "cellular 1.2 Mbps, 0.4 s handoff break with burst loss, then "
+            "3.5 Mbps Wi-Fi"
+        ),
+        trace=TraceSpec(
+            segments=(
+                TraceSegment(1.2, 1.2),
+                TraceSegment(0.4, 1.2, 0.15),
+                TraceSegment(2.0, 3.5),
+            ),
+            label="cellular-to-wifi",
+        ),
+        frames=90,
+        seed=102,
+        user_index=1,
+        faults=FaultPlan(
+            seed=21,
+            burst_loss=(
+                BurstLossWindow(1.2, 1.7, p_enter=0.15, p_exit=0.25, loss_in_bad=0.9),
+            ),
+        ),
+        tags=("handoff", "mobility"),
+    ),
+    ScenarioSpec(
+        name="satellite-outage",
+        description=(
+            "120 ms one-way propagation with two hard link outages "
+            "(LEO handover shadowing)"
+        ),
+        trace=_flat(2.5, label="satellite-2.5mbps"),
+        frames=75,
+        seed=103,
+        link_propagation_s=0.12,
+        faults=FaultPlan(
+            seed=22,
+            link_outages=(LinkOutage(0.8, 1.4), LinkOutage(1.9, 2.2)),
+        ),
+        tags=("outage", "satellite"),
+    ),
+    ScenarioSpec(
+        name="burst-loss-storm",
+        description="three harsh Gilbert-Elliott burst windows back to back",
+        trace=_flat(2.8, label="steady-2.8mbps"),
+        frames=75,
+        seed=104,
+        user_index=2,
+        faults=FaultPlan(
+            seed=23,
+            burst_loss=(
+                BurstLossWindow(0.3, 0.7, p_enter=0.2, p_exit=0.2, loss_in_bad=0.9),
+                BurstLossWindow(1.0, 1.4, p_enter=0.2, p_exit=0.2, loss_in_bad=0.9),
+                BurstLossWindow(1.7, 2.1, p_enter=0.2, p_exit=0.2, loss_in_bad=0.9),
+            ),
+        ),
+        tags=("loss",),
+    ),
+    ScenarioSpec(
+        name="correlated-fault-congestion",
+        description=(
+            "ReVo-style cross-layer script: capacity collapse, burst loss, "
+            "camera dropout, encode failure, and a corrupt pair co-timed"
+        ),
+        trace=TraceSpec(
+            segments=(
+                TraceSegment(1.0, 2.8),
+                TraceSegment(1.0, 0.12),
+                TraceSegment(1.5, 2.8),
+            ),
+            label="congestion-collapse",
+        ),
+        frames=90,
+        seed=105,
+        faults=FaultPlan(
+            seed=24,
+            camera_faults=(CameraFault(1, 1.0, 1.8, "dropout"),),
+            burst_loss=(
+                BurstLossWindow(1.0, 1.9, p_enter=0.1, p_exit=0.3, loss_in_bad=0.8),
+            ),
+            encoder_faults=(EncoderFault(33),),
+            corrupted_frames=(FrameCorruption(40),),
+        ),
+        tags=("correlated", "revo"),
+    ),
+    ScenarioSpec(
+        name="ladder-stress",
+        description=(
+            "capacity square wave crossing the encoder floor twice: forces "
+            "the watchdog ladder down and back up repeatedly"
+        ),
+        trace=TraceSpec(
+            segments=(
+                TraceSegment(1.0, 2.5),
+                TraceSegment(0.8, 0.1),
+                TraceSegment(1.0, 2.5),
+                TraceSegment(0.8, 0.1),
+                TraceSegment(1.0, 2.5),
+            ),
+            label="square-wave",
+        ),
+        frames=120,
+        seed=106,
+        tags=("ladder", "watchdog"),
+    ),
+    ScenarioSpec(
+        name="camera-flap",
+        description="two cameras flapping (repeated dropout/stale windows)",
+        trace=_flat(2.8, label="steady-2.8mbps"),
+        frames=75,
+        seed=107,
+        faults=FaultPlan(
+            seed=25,
+            camera_faults=(
+                CameraFault(1, 0.3, 0.6, "dropout"),
+                CameraFault(1, 1.0, 1.3, "dropout"),
+                CameraFault(1, 1.7, 2.0, "dropout"),
+                CameraFault(2, 0.5, 0.8, "stale"),
+                CameraFault(2, 1.2, 1.5, "stale"),
+            ),
+        ),
+        tags=("capture",),
+    ),
+    ScenarioSpec(
+        name="elevator-fade",
+        description=(
+            "deep fade to 0.1 Mbps and back (elevator ride) with a stale "
+            "camera through the fade"
+        ),
+        trace=TraceSpec(
+            segments=(
+                TraceSegment(0.8, 3.0),
+                TraceSegment(0.6, 3.0, 0.1),
+                TraceSegment(0.5, 0.1),
+                TraceSegment(0.6, 0.1, 3.0),
+                TraceSegment(0.8, 3.0),
+            ),
+            label="elevator-fade",
+        ),
+        frames=90,
+        seed=108,
+        user_index=1,
+        faults=FaultPlan(
+            seed=26,
+            camera_faults=(CameraFault(2, 1.0, 1.6, "stale"),),
+        ),
+        tags=("fade", "mobility"),
+    ),
+    ScenarioSpec(
+        name="multiparty-churn",
+        description=(
+            "SLAMCast-style multi-client churn: peers join and leave a "
+            "shared-encode multiway conference"
+        ),
+        trace=_flat(3.0, label="steady-3mbps"),
+        kind="multiway",
+        frames=60,
+        seed=109,
+        initial_peers=("alice", "bob"),
+        churn=(
+            ChurnEvent(0.4, "join", "carol"),
+            ChurnEvent(0.8, "join", "dave"),
+            ChurnEvent(1.2, "leave", "bob"),
+            ChurnEvent(1.6, "leave", "carol"),
+        ),
+        tags=("multiway", "churn"),
+    ),
+)
+
+SCENARIOS: dict[str, ScenarioSpec] = {spec.name: spec for spec in _ZOO}
+
+
+def scenario_names() -> list[str]:
+    """Every zoo scenario, in definition order."""
+    return list(SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a zoo scenario (ValueError with suggestions when absent)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(SCENARIOS)
+        raise ValueError(f"unknown scenario {name!r}; known: {known}") from None

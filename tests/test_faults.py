@@ -227,3 +227,102 @@ class TestStallWatchdog:
             ResilienceConfig(fps_divisor=1)
         with pytest.raises(ValueError):
             ResilienceConfig(chroma_budget_scale=0.0)
+
+
+class TestFaultPlanValidation:
+    """Construction-time validation (PR6): malformed plans fail loudly."""
+
+    def test_same_camera_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlapping camera faults"):
+            FaultPlan(
+                camera_faults=(
+                    CameraFault(1, 0.0, 1.0, "dropout"),
+                    CameraFault(1, 0.5, 1.5, "stale"),
+                )
+            )
+
+    def test_different_camera_overlap_allowed(self):
+        plan = FaultPlan(
+            camera_faults=(
+                CameraFault(1, 0.0, 1.0, "dropout"),
+                CameraFault(2, 0.5, 1.5, "stale"),
+            )
+        )
+        assert len(plan.camera_faults) == 2
+
+    def test_touching_windows_allowed(self):
+        plan = FaultPlan(
+            link_outages=(LinkOutage(0.0, 1.0), LinkOutage(1.0, 2.0))
+        )
+        assert len(plan.link_outages) == 2
+
+    def test_overlapping_outages_rejected(self):
+        with pytest.raises(ValueError, match="overlapping link outages"):
+            FaultPlan(link_outages=(LinkOutage(0.0, 1.0), LinkOutage(0.9, 2.0)))
+
+    def test_overlapping_burst_windows_rejected(self):
+        with pytest.raises(ValueError, match="overlapping burst-loss"):
+            FaultPlan(
+                burst_loss=(
+                    BurstLossWindow(0.0, 1.0),
+                    BurstLossWindow(0.5, 1.5),
+                )
+            )
+
+    def test_duplicate_encoder_faults_rejected(self):
+        with pytest.raises(ValueError, match="duplicate encoder fault"):
+            FaultPlan(encoder_faults=(EncoderFault(5), EncoderFault(5)))
+
+    def test_duplicate_corruptions_rejected(self):
+        with pytest.raises(ValueError, match="duplicate frame corruption"):
+            FaultPlan(corrupted_frames=(FrameCorruption(3), FrameCorruption(3)))
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(link_outages=(LinkOutage(2.0, 1.0),))
+        with pytest.raises(ValueError):
+            FaultPlan(camera_faults=(CameraFault(0, 1.0, 1.0, "dropout"),))
+
+    def test_roundtrip_through_dict(self):
+        plan = chaos_plan()
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        assert rebuilt == plan
+        assert rebuilt.to_dict() == plan.to_dict()
+
+    def test_empty_roundtrip(self):
+        assert FaultPlan.from_dict(FaultPlan().to_dict()).is_empty
+
+
+class TestWatchdogMetrics:
+    """Ladder state exported as gauges/counters (PR6)."""
+
+    def test_time_per_rung_accounting(self):
+        dog = StallWatchdog(ResilienceConfig(watchdog_misses=1, recover_hysteresis=2))
+        dog.observe(False, now=1.0)   # 0..1 at normal, then -> half-fps
+        dog.observe(True, now=2.0)    # 1..2 at half-fps
+        dog.observe(True, now=3.0)    # 2..3 at half-fps, then -> normal
+        dog.finalize(5.0)             # 3..5 at normal
+        assert dog.time_at_level[LEVEL_NORMAL] == pytest.approx(3.0)
+        assert dog.time_at_level[LEVEL_HALF_FPS] == pytest.approx(2.0)
+
+    def test_metrics_into_registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        dog = StallWatchdog(ResilienceConfig(watchdog_misses=1))
+        dog.observe(False, now=0.5)
+        dog.finalize(1.0)
+        registry = MetricsRegistry()
+        dog.metrics_into(registry)
+        assert registry.gauge("ladder.level").value == float(LEVEL_HALF_FPS)
+        assert registry.counter("ladder.steps_down").value == 1
+        assert registry.counter("ladder.transitions").value == 1
+        names = registry.names()
+        assert "ladder.time_at.normal_s" in names
+        assert "ladder.time_at.chroma-lite_s" in names
+
+    def test_untimed_observe_unchanged(self):
+        dog = StallWatchdog(ResilienceConfig(watchdog_misses=2))
+        dog.observe(False)
+        dog.observe(False)
+        assert dog.level == LEVEL_HALF_FPS
+        assert dog.time_at_level == {}
