@@ -1,9 +1,14 @@
-"""Ablation: multi-way fan-out -- unicast vs shared union-culled stream.
+"""Ablation: multi-way fan-out -- unicast vs shared vs SFU forwarding.
 
 The paper leaves multi-way conferencing to future work but points at
 "optimizations across receivers from a single sender" (section 3.1).
 This ablation quantifies that optimization: uplink bytes and encoder
-invocations versus receiver count for the two strategies.
+invocations versus receiver count for the three strategies, plus a
+quality-parity check that the SFU's per-receiver forwarded content is
+byte-identical pre-codec to what unicast would have sent (receiver
+frustum is a subset of the union, so re-culling the union-culled frame
+equals culling the original) -- same content, same PointSSIM, at the
+shared stream's uplink cost.
 """
 
 import numpy as np
@@ -13,11 +18,14 @@ from repro.capture.dataset import load_video
 from repro.capture.rig import default_rig
 from repro.core.config import SessionConfig
 from repro.core.multiway import MultiwaySender
+from repro.geometry.pointcloud import PointCloud
+from repro.metrics.pointssim import pointssim
 from repro.prediction.pose import user_traces_for_video
 
 RECEIVER_COUNTS = (1, 2, 4)
 NUM_FRAMES = 8
 TARGET_BPS = 8e6
+PSSIM_MAX_POINTS = 1500
 
 
 def test_ablation_multiway_fanout(benchmark, results_dir):
@@ -44,24 +52,94 @@ def test_ablation_multiway_fanout(benchmark, results_dir):
             encoder_runs += result.encoder_runs
         return total_bytes / NUM_FRAMES, encoder_runs // NUM_FRAMES
 
+    def cloud_of(multiview) -> PointCloud:
+        return PointCloud.merge(
+            [
+                camera.unproject(view.depth_mm, view.color)
+                for camera, view in zip(rig.cameras, multiview.views)
+            ]
+        )
+
+    def run_sfu_paired(num_receivers: int) -> dict:
+        """SFU and unicast in lockstep: bytes, plus per-receiver parity.
+
+        ``keep_views`` makes the node hand back each receiver's culled
+        multiview so it can be compared against the stream unicast
+        would have encoded for that receiver.
+        """
+        names = [f"r{i}" for i in range(num_receivers)]
+        sfu = MultiwaySender(rig.cameras, config, names, mode="sfu")
+        sfu.node.keep_views = True
+        unicast = MultiwaySender(rig.cameras, config, names, mode="unicast")
+        sfu_bytes = 0
+        sfu_runs = 0
+        pssim_sfu: list[float] = []
+        pssim_unicast: list[float] = []
+        for sequence in range(NUM_FRAMES):
+            for index, name in enumerate(names):
+                trace = traces[index % len(traces)]
+                pose = trace.pose_at_frame(sequence)
+                sfu.observe_pose(name, pose, sequence / 30.0)
+                unicast.observe_pose(name, pose, sequence / 30.0)
+            frame = rig.capture(scene, sequence)
+            sfu_result = sfu.process(frame, TARGET_BPS, 0.1)
+            unicast_result = unicast.process(frame, TARGET_BPS, 0.1)
+            sfu_bytes += sfu_result.total_bytes
+            sfu_runs += sfu_result.encoder_runs
+            for name in names:
+                forwarded = sfu_result.downlinks[name].forwarded_multiview
+                reference = unicast_result.per_receiver[name].culled_multiview
+                for sfu_view, uni_view in zip(forwarded.views, reference.views):
+                    assert np.array_equal(sfu_view.color, uni_view.color)
+                    assert np.array_equal(sfu_view.depth_mm, uni_view.depth_mm)
+            if sequence == NUM_FRAMES - 1:
+                # Pre-codec quality of each receiver's content against
+                # the full capture (subsampled, seeded: deterministic).
+                full = cloud_of(frame)
+                for name in names:
+                    forwarded = cloud_of(
+                        sfu_result.downlinks[name].forwarded_multiview
+                    )
+                    reference = cloud_of(
+                        unicast_result.per_receiver[name].culled_multiview
+                    )
+                    pssim_sfu.append(
+                        pointssim(full, forwarded, max_points=PSSIM_MAX_POINTS).geometry
+                    )
+                    pssim_unicast.append(
+                        pointssim(full, reference, max_points=PSSIM_MAX_POINTS).geometry
+                    )
+        sfu.close()
+        unicast.close()
+        return {
+            "bytes_per_frame": sfu_bytes / NUM_FRAMES,
+            "encoder_runs": sfu_runs // NUM_FRAMES,
+            "pssim": float(np.mean(pssim_sfu)),
+            "pssim_unicast": float(np.mean(pssim_unicast)),
+        }
+
     def build():
         table = {}
         for count in RECEIVER_COUNTS:
             table[count] = {
                 "unicast": run("unicast", count),
                 "shared": run("shared", count),
+                "sfu": run_sfu_paired(count),
             }
         return table
 
     table = benchmark.pedantic(build, rounds=1, iterations=1)
     lines = [
         f"{'receivers':>9s} {'unicast B/frame':>16s} {'enc':>4s} "
-        f"{'shared B/frame':>15s} {'enc':>4s}"
+        f"{'shared B/frame':>15s} {'enc':>4s} "
+        f"{'sfu B/frame':>12s} {'enc':>4s} {'sfu PSSIM':>10s} {'uni PSSIM':>10s}"
     ]
     for count, row in table.items():
         lines.append(
             f"{count:9d} {row['unicast'][0]:16.0f} {row['unicast'][1]:4d} "
-            f"{row['shared'][0]:15.0f} {row['shared'][1]:4d}"
+            f"{row['shared'][0]:15.0f} {row['shared'][1]:4d} "
+            f"{row['sfu']['bytes_per_frame']:12.0f} {row['sfu']['encoder_runs']:4d} "
+            f"{row['sfu']['pssim']:10.2f} {row['sfu']['pssim_unicast']:10.2f}"
         )
     write_result("ablation_multiway.txt", "\n".join(lines))
 
@@ -70,9 +148,20 @@ def test_ablation_multiway_fanout(benchmark, results_dir):
     shared_growth = table[4]["shared"][0] / table[1]["shared"][0]
     assert unicast_growth > 2.5
     assert shared_growth < 1.8
-    # Shared always uses exactly one encoder pair.
+    # Shared and SFU always use exactly one encoder pair.
     for count in RECEIVER_COUNTS:
         assert table[count]["shared"][1] == 2
+        assert table[count]["sfu"]["encoder_runs"] == 2
         assert table[count]["unicast"][1] == 2 * count
     # With several receivers, the shared stream is the cheaper uplink.
     assert table[4]["shared"][0] < table[4]["unicast"][0]
+    # The SFU's uplink IS the shared stream: it beats unicast at any
+    # multi-receiver count, at per-receiver content that is byte-equal
+    # pre-codec to unicast's (asserted view-by-view above), i.e. at
+    # equal-or-better mean PSSIM.
+    for count in RECEIVER_COUNTS[1:]:
+        assert table[count]["sfu"]["bytes_per_frame"] < table[count]["unicast"][0]
+    for count in RECEIVER_COUNTS:
+        assert (
+            table[count]["sfu"]["pssim"] >= table[count]["sfu"]["pssim_unicast"] - 1e-9
+        )

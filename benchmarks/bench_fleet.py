@@ -1,0 +1,112 @@
+"""Fleet capacity benchmark: how many SFU conferences fit on a core.
+
+Drives :func:`repro.sfu.fleet.run_fleet` -- hundreds of concurrent SFU
+conferences with join/leave churn, all consuming one shared cached
+capture source -- and reports the capacity numbers the ROADMAP asks
+for: sessions sustainable per core at the 30 fps frame budget, p99
+session-frame latency, and aggregate uplink savings against a unicast
+control group running the identical schedule.
+
+Writes ``BENCH_fleet.json`` next to the repo root.  ``--smoke`` runs a
+reduced fleet and exits nonzero if the SFU's per-frame uplink exceeds
+the unicast control's (the fan-out must never cost more uplink than N
+independent pipelines) or if per-session overhead regresses past the
+budget -- cheap enough for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sfu.fleet import FleetConfig, run_fleet  # noqa: E402
+
+# Smoke budget: one conference-frame (uplink encode + N forwards) on
+# the tiny smoke rig must stay under this wall-clock mean.  The smoke
+# rig runs ~10 ms/frame on a cold container today; 80 ms catches an
+# order-of-magnitude regression without flaking on slow CI runners.
+SMOKE_MS_PER_FRAME_BUDGET = 80.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sessions", type=int, default=200, help="concurrent SFU conferences"
+    )
+    parser.add_argument("--frames", type=int, default=30, help="frames per conference")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced fleet; exit 1 on uplink or per-session overhead regression",
+    )
+    parser.add_argument("--out", default=None, help="output JSON path")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        fleet = FleetConfig(
+            sessions=12, frames=10, receivers=2, churn_every=4,
+            sample_budget=2000, unicast_control=3,
+        )
+    else:
+        fleet = FleetConfig(
+            sessions=args.sessions, frames=args.frames, receivers=3,
+            churn_every=10, unicast_control=4,
+        )
+
+    result = run_fleet(fleet)
+    payload = {
+        "bench": "SFU fleet capacity (churned conferences over shared caches)",
+        "mode": "smoke" if args.smoke else "full",
+        "fleet": result.to_dict(),
+    }
+
+    out = (
+        Path(args.out)
+        if args.out
+        else Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+    )
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    report = result.to_dict()
+    print(
+        f"fleet    {report['sessions']} sessions x {report['frames']} frames "
+        f"({report['churn_events']} churn events) in {report['wall_s']:.2f}s"
+    )
+    print(
+        f"capacity {report['session_frames_per_s']:.0f} session-frames/s "
+        f"= {report['sessions_per_core']:.2f} sessions/core at 30 fps"
+    )
+    latency = report["latency_ms"]
+    print(
+        f"latency  p50 {latency['p50']:.2f} ms  p99 {latency['p99']:.2f} ms  "
+        f"mean {latency['mean']:.2f} ms per session-frame"
+    )
+    uplink = report["uplink_bytes_per_frame"]
+    print(
+        f"uplink   sfu {uplink['sfu']:.0f} B/frame vs unicast {uplink['unicast']:.0f} "
+        f"B/frame ({100 * report['uplink_savings']:.1f}% saved)"
+    )
+    print(f"wrote {out}")
+
+    if args.smoke:
+        failed = False
+        if uplink["sfu"] > uplink["unicast"]:
+            print("FAIL: sfu uplink bytes exceed unicast's")
+            failed = True
+        if latency["mean"] > SMOKE_MS_PER_FRAME_BUDGET:
+            print(
+                f"FAIL: per-session overhead regressed "
+                f"({latency['mean']:.1f} ms/frame > {SMOKE_MS_PER_FRAME_BUDGET} ms budget)"
+            )
+            failed = True
+        if failed:
+            return 1
+        print("smoke OK: sfu uplink under unicast, per-session overhead in budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,7 @@ Usage (after ``python setup.py develop``)::
     python -m repro run --video band2 --scheme LiVo --net-trace trace-1
     python -m repro run --video band2 --trace /tmp/session.json   # Perfetto
     python -m repro export --video pizza1 --out /tmp/pizza1
+    python -m repro multiway --mode sfu --receivers 4   # SFU fan-out
 """
 
 from __future__ import annotations
@@ -90,6 +91,24 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--video", default="band2")
     export.add_argument("--out", required=True, help="output directory")
     export.add_argument("--frame", type=int, default=0)
+
+    multiway = sub.add_parser(
+        "multiway", help="run a one-sender/N-receiver conference and print stats"
+    )
+    multiway.add_argument("--video", default="pizza1")
+    multiway.add_argument(
+        "--mode", default="shared", choices=["shared", "unicast", "sfu"],
+        help="fan-out architecture: per-receiver pipelines (unicast), one "
+        "union-culled stream (shared), or an SFU node forwarding tailored "
+        "per-receiver downlinks (sfu)",
+    )
+    multiway.add_argument("--receivers", type=int, default=3)
+    multiway.add_argument("--frames", type=int, default=30)
+    multiway.add_argument("--cameras", type=int, default=4)
+    multiway.add_argument(
+        "--target-mbps", type=float, default=2.0,
+        help="per-stream encode target (and SFU downlink capacity)",
+    )
 
     return parser
 
@@ -231,6 +250,57 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_multiway(args: argparse.Namespace) -> int:
+    from repro.capture.dataset import load_video
+    from repro.capture.rig import default_rig
+    from repro.core.config import SessionConfig
+    from repro.core.multiway import MultiwaySender
+    from repro.perf.capture import CachedFrameSource
+    from repro.prediction.pose import user_traces_for_video
+    from repro.transport.traces import constant_trace
+
+    config = SessionConfig(
+        num_cameras=args.cameras, camera_width=48, camera_height=36,
+        scene_sample_budget=6000, gop_size=10,
+    )
+    _, scene = load_video(args.video, sample_budget=6000)
+    rig = default_rig(num_cameras=args.cameras, width=48, height=36)
+    source = CachedFrameSource(rig, scene)
+    pose_traces = user_traces_for_video(args.video, args.frames + 10)
+    names = [f"rx{index}" for index in range(args.receivers)]
+    target_bps = args.target_mbps * 1e6
+    kwargs = {}
+    if args.mode == "sfu":
+        kwargs["default_downlink_trace"] = constant_trace(
+            args.target_mbps, duration_s=args.frames / config.fps + 10.0
+        )
+    sender = MultiwaySender(rig.cameras, config, names, mode=args.mode, **kwargs)
+    horizon_s = config.pose_feedback_lag_frames * config.frame_interval_s
+    uplink = downlink = encoder_runs = 0
+    for sequence in range(args.frames):
+        now = sequence * config.frame_interval_s
+        for index, name in enumerate(names):
+            pose = pose_traces[index % len(pose_traces)].pose_at_frame(sequence)
+            sender.observe_pose(name, pose, now)
+        result = sender.process(source.capture(sequence), target_bps, horizon_s)
+        uplink += result.total_bytes
+        downlink += result.downlink_bytes
+        encoder_runs += result.encoder_runs
+    sender.close()
+    print(
+        f"mode={args.mode} receivers={args.receivers} frames={args.frames}\n"
+        f"uplink: {uplink} B total, {uplink / args.frames:.0f} B/frame\n"
+        f"encoder runs: {encoder_runs} "
+        f"({encoder_runs / args.frames:.1f}/frame)"
+    )
+    if args.mode == "sfu":
+        print(
+            f"downlink: {downlink} B total across {args.receivers} receivers "
+            f"({downlink / args.frames:.0f} B/frame)"
+        )
+    return 0
+
+
 _SCENARIO_FLAGS = {
     "--scenario",
     "--list-scenarios",
@@ -261,4 +331,6 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "export":
         return _cmd_export(args)
+    if args.command == "multiway":
+        return _cmd_multiway(args)
     raise AssertionError(f"unhandled command {args.command!r}")

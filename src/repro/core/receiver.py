@@ -38,9 +38,17 @@ class DecodedPair:
 class LiVoReceiver:
     """Stateful receiver: decode + untile + reconstruct + render prep."""
 
-    def __init__(self, cameras: list[RGBDCamera], config: SessionConfig) -> None:
+    def __init__(
+        self,
+        cameras: list[RGBDCamera],
+        config: SessionConfig,
+        receiver_id: str | None = None,
+    ) -> None:
         self.cameras = cameras
         self.config = config
+        # Identity of this receiver within a multi-party conference
+        # (None for the legacy two-party session).
+        self.receiver_id = receiver_id
         intrinsics = cameras[0].intrinsics
         self.layout = TileLayout.for_cameras(
             len(cameras), intrinsics.height, intrinsics.width

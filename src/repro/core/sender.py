@@ -114,9 +114,16 @@ class LiVoSender:
         cameras: list[RGBDCamera],
         config: SessionConfig,
         device: ViewingDevice | None = None,
+        receiver_id: str | None = None,
     ) -> None:
         self.cameras = cameras
         self.config = config
+        # Which receiver this pipeline serves (multi-way unicast runs
+        # one pipeline per receiver).  None keeps the legacy single-
+        # receiver naming so existing traces/handles are unchanged.
+        self.receiver_id = receiver_id
+        suffix = "" if receiver_id is None else f"[{receiver_id}]"
+        self._handle_names = (f"color-encoder{suffix}", f"depth-encoder{suffix}")
         intrinsics = cameras[0].intrinsics
         self.layout = TileLayout.for_cameras(
             len(cameras), intrinsics.height, intrinsics.width
@@ -140,10 +147,10 @@ class LiVoSender:
         # can host each encoder in a dedicated worker process; the
         # default handles just wrap the in-process encoders.
         self._color_handle = _LocalStatefulHandle(
-            lambda: self.color_encoder, "color-encoder"
+            lambda: self.color_encoder, self._handle_names[0]
         )
         self._depth_handle = _LocalStatefulHandle(
-            lambda: self.depth_encoder, "depth-encoder"
+            lambda: self.depth_encoder, self._handle_names[1]
         )
         self._remote_encoders = False
         self.split = SplitController(
@@ -192,10 +199,10 @@ class LiVoSender:
             return
         color_codec, depth_codec = self._color_codec, self._depth_codec
         self._color_handle = executor.stateful(
-            lambda: VideoEncoder(color_codec), "color-encoder"
+            lambda: VideoEncoder(color_codec), self._handle_names[0]
         )
         self._depth_handle = executor.stateful(
-            lambda: VideoEncoder(depth_codec), "depth-encoder"
+            lambda: VideoEncoder(depth_codec), self._handle_names[1]
         )
         self._remote_encoders = True
 
@@ -215,10 +222,10 @@ class LiVoSender:
         self.color_encoder = VideoEncoder(self._color_codec)
         self.depth_encoder = VideoEncoder(self._depth_codec)
         self._color_handle = _LocalStatefulHandle(
-            lambda: self.color_encoder, "color-encoder"
+            lambda: self.color_encoder, self._handle_names[0]
         )
         self._depth_handle = _LocalStatefulHandle(
-            lambda: self.depth_encoder, "depth-encoder"
+            lambda: self.depth_encoder, self._handle_names[1]
         )
         self._remote_encoders = False
         if self.tracer is not None:

@@ -345,6 +345,7 @@ class LiVoSession(_SessionBase):
         scheme_name: str | None = None,
         fault_plan: FaultPlan | None = None,
         tracer: Tracer | None = None,
+        receiver_id: str | None = None,
     ) -> SessionReport:
         """Replay ``num_frames`` captures through the full pipeline.
 
@@ -367,8 +368,8 @@ class LiVoSession(_SessionBase):
             else None
         )
         rig = self._make_rig()
-        sender = LiVoSender(rig.cameras, config, self.device)
-        receiver = LiVoReceiver(rig.cameras, config)
+        sender = LiVoSender(rig.cameras, config, self.device, receiver_id=receiver_id)
+        receiver = LiVoReceiver(rig.cameras, config, receiver_id=receiver_id)
         events: list[FaultEvent] = []
         boundary = StageFaultBoundary(injector, events)
 

@@ -23,12 +23,14 @@ layer coherency-free and byte-identical to the uncached paths.
 """
 
 from repro.perf.counters import CacheCounters
+from repro.perf.culling import CullCache
 from repro.perf.features import FeatureCache
 from repro.perf.fingerprint import array_fingerprint, cloud_fingerprint
 
 __all__ = [
     "CachedFrameSource",
     "CacheCounters",
+    "CullCache",
     "FeatureCache",
     "ScratchArena",
     "array_fingerprint",

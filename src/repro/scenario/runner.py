@@ -8,10 +8,13 @@ Two execution paths:
   timeline.
 - ``kind="multiway"`` drives :class:`repro.core.multiway.MultiwaySender`
   through the spec's join/leave churn on a simulated clock with a
-  simple serialization+propagation delivery model.  Multi-party
-  conferencing has no full transport emulation yet, so this path is a
-  deliberately lighter harness; what matters for the regression corpus
-  is that it is deterministic in the spec.
+  simple serialization+propagation delivery model.  In ``sfu`` mode
+  each receiver additionally gets its own emulated downlink (the
+  spec's ``receiver_links`` pin heterogeneous capacities; unlisted
+  peers inherit the main trace) and a frame renders only when the
+  *slowest* receiver's forward lands inside the playout budget.  What
+  matters for the regression corpus is that every path is
+  deterministic in the spec.
 
 Both paths are byte-deterministic: same spec, same report.
 """
@@ -26,6 +29,7 @@ from repro.core.stats import FaultEvent, FrameRecord, SessionReport
 from repro.perf.capture import CachedFrameSource
 from repro.prediction.pose import user_traces_for_video
 from repro.scenario.spec import ScenarioSpec
+from repro.transport.traces import constant_trace
 
 __all__ = ["run_scenario"]
 
@@ -77,11 +81,29 @@ def _run_multiway(spec: ScenarioSpec) -> SessionReport:
     source = CachedFrameSource(rig, scene) if config.kernel_cache else None
     pose_traces = user_traces_for_video(spec.video, spec.frames + 10)
 
+    bandwidth = spec.build_trace()
+    sender_kwargs: dict = {}
+    extra_propagation: dict[str, float] = {}
+    if spec.multiway_mode == "sfu":
+        downlink_traces = {}
+        for link in spec.receiver_links:
+            downlink_traces[link.peer] = constant_trace(
+                link.mbps, duration_s=spec.duration_s + 10.0
+            )
+            if link.propagation_s is not None:
+                extra_propagation[link.peer] = link.propagation_s
+        sender_kwargs = dict(
+            downlink_traces=downlink_traces,
+            default_downlink_trace=bandwidth,
+            downlink_config=config.link,
+        )
+
     sender = MultiwaySender(
         rig.cameras,
         config,
         list(spec.initial_peers),
         mode=spec.multiway_mode,
+        **sender_kwargs,
     )
     # Peers get pose traces by join order, so a rejoining peer resumes a
     # deterministic trajectory.
@@ -97,7 +119,6 @@ def _run_multiway(spec: ScenarioSpec) -> SessionReport:
     for peer in spec.initial_peers:
         assign_trace(peer)
 
-    bandwidth = spec.build_trace()
     interval = config.frame_interval_s
     horizon_s = config.pose_feedback_lag_frames * interval
     churn = sorted(spec.churn, key=lambda event: event.time_s)
@@ -159,6 +180,17 @@ def _run_multiway(spec: ScenarioSpec) -> SessionReport:
                 + wire_bytes * 8.0 / capacity_bps
                 + config.link.propagation_delay_s
             )
+            if result.downlinks:
+                # SFU: the conference renders when the slowest receiver's
+                # forwarded burst lands (per-link emulated delivery plus
+                # any extra per-receiver propagation from the spec).
+                forwarded = [
+                    decision.delivery_time_s + extra_propagation.get(peer, 0.0)
+                    for peer, decision in result.downlinks.items()
+                    if decision.delivery_time_s is not None
+                ]
+                if forwarded:
+                    delivery = max(delivery, max(forwarded))
             record.delivery_time_s = delivery
             if delivery <= now + config.playout_delay_s:
                 record.rendered = True

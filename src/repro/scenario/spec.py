@@ -32,6 +32,7 @@ __all__ = [
     "TraceSegment",
     "TraceSpec",
     "ChurnEvent",
+    "ReceiverLink",
     "ScenarioSpec",
     "LIVO_SCHEMES",
 ]
@@ -167,6 +168,32 @@ class ChurnEvent:
 
 
 @dataclass(frozen=True)
+class ReceiverLink:
+    """A heterogeneous per-receiver downlink for SFU scenarios.
+
+    Receivers without an entry inherit the scenario's main trace; an
+    entry pins that peer's downlink to a constant ``mbps`` capacity
+    (and optionally its own propagation delay) -- the "one receiver on
+    cellular, one on ethernet" shape an SFU exists to serve.
+    """
+
+    peer: str
+    mbps: float
+    propagation_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.peer:
+            raise ValueError("receiver link needs a peer name")
+        if self.mbps <= 0:
+            raise ValueError("receiver link capacity must be positive")
+        if self.propagation_s is not None and self.propagation_s < 0:
+            raise ValueError("receiver link propagation must be non-negative")
+
+    def to_dict(self) -> dict:
+        return {"peer": self.peer, "mbps": self.mbps, "propagation_s": self.propagation_s}
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A complete, named, replayable chaos scenario."""
 
@@ -191,11 +218,13 @@ class ScenarioSpec:
     initial_peers: tuple[str, ...] = ()
     churn: tuple[ChurnEvent, ...] = ()
     multiway_mode: str = "shared"
+    receiver_links: tuple[ReceiverLink, ...] = ()
     tags: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "initial_peers", tuple(self.initial_peers))
         object.__setattr__(self, "churn", tuple(self.churn))
+        object.__setattr__(self, "receiver_links", tuple(self.receiver_links))
         object.__setattr__(self, "tags", tuple(self.tags))
         if not self.name:
             raise ValueError("scenario needs a name")
@@ -207,8 +236,16 @@ class ScenarioSpec:
             raise ValueError("frames must be positive")
         if self.user_index < 0:
             raise ValueError("user_index must be non-negative")
-        if self.multiway_mode not in ("shared", "unicast"):
-            raise ValueError("multiway_mode must be 'shared' or 'unicast'")
+        if self.multiway_mode not in ("shared", "unicast", "sfu"):
+            raise ValueError("multiway_mode must be 'shared', 'unicast', or 'sfu'")
+        if self.receiver_links:
+            if self.kind != "multiway" or self.multiway_mode != "sfu":
+                raise ValueError(
+                    "receiver_links only apply to multiway scenarios in sfu mode"
+                )
+            peers = [link.peer for link in self.receiver_links]
+            if len(set(peers)) != len(peers):
+                raise ValueError("duplicate peer in receiver_links")
         if not 0.0 <= self.link_loss_rate < 1.0:
             raise ValueError("link_loss_rate must be in [0, 1)")
         if self.kind == "multiway":
@@ -307,7 +344,14 @@ class ScenarioSpec:
             "churn": [event.to_dict() for event in self.churn],
             "multiway_mode": self.multiway_mode,
             "tags": list(self.tags),
-        }
+        } | (
+            # Emitted only when set, so pre-SFU recordings keep their
+            # canonical dict -- and therefore their fingerprint -- bit
+            # for bit (the golden-corpus compatibility contract).
+            {"receiver_links": [link.to_dict() for link in self.receiver_links]}
+            if self.receiver_links
+            else {}
+        )
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioSpec":
@@ -334,6 +378,9 @@ class ScenarioSpec:
             initial_peers=tuple(data.get("initial_peers", ())),
             churn=tuple(ChurnEvent(**entry) for entry in data.get("churn", ())),
             multiway_mode=data.get("multiway_mode", "shared"),
+            receiver_links=tuple(
+                ReceiverLink(**entry) for entry in data.get("receiver_links", ())
+            ),
             tags=tuple(data.get("tags", ())),
         )
 

@@ -24,7 +24,13 @@ from repro.faults.plan import (
     FrameCorruption,
     LinkOutage,
 )
-from repro.scenario.spec import ChurnEvent, ScenarioSpec, TraceSegment, TraceSpec
+from repro.scenario.spec import (
+    ChurnEvent,
+    ReceiverLink,
+    ScenarioSpec,
+    TraceSegment,
+    TraceSpec,
+)
 
 __all__ = ["SCENARIOS", "get_scenario", "scenario_names"]
 
@@ -208,6 +214,30 @@ _ZOO: tuple[ScenarioSpec, ...] = (
             ChurnEvent(1.6, "leave", "carol"),
         ),
         tags=("multiway", "churn"),
+    ),
+    ScenarioSpec(
+        name="sfu-heterogeneous-links",
+        description=(
+            "SFU fan-out under churn with asymmetric downlinks: one "
+            "ethernet receiver, one cellular straggler, late joiners on "
+            "the default link"
+        ),
+        trace=_flat(3.0, label="steady-3mbps"),
+        kind="multiway",
+        multiway_mode="sfu",
+        frames=60,
+        seed=110,
+        initial_peers=("eve", "frank"),
+        churn=(
+            ChurnEvent(0.5, "join", "grace"),
+            ChurnEvent(1.1, "leave", "frank"),
+            ChurnEvent(1.5, "join", "heidi"),
+        ),
+        receiver_links=(
+            ReceiverLink("eve", 8.0),
+            ReceiverLink("frank", 0.9, propagation_s=0.06),
+        ),
+        tags=("multiway", "sfu", "churn"),
     ),
 )
 

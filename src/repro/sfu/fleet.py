@@ -1,0 +1,384 @@
+"""Fleet capacity harness: hundreds of concurrent SFU conferences.
+
+The ROADMAP's question is blunt: how many conferences does one core
+sustain?  This harness answers it the way a capacity test should --
+by running N full SFU sessions (uplink encode -> node ingest -> node
+forward, as stage-graph stages) concurrently over one shared capture
+source, with join/leave churn, and measuring wall-clock per
+session-frame:
+
+- **shared kernel caches**: every session consumes the *same*
+  :class:`~repro.perf.capture.CachedFrameSource` capture, so the splat
+  renderer runs once per frame for the whole fleet -- the cross-session
+  sharing a real media server gets from one speaker fanning out to
+  many rooms;
+- **per-session state**: each conference owns its uplink encoder, SFU
+  node, per-receiver downlinks/GCC, and churn schedule (seeded per
+  session, so the fleet replays deterministically);
+- **capacity metrics**: sessions/core at the 30 fps frame budget, p50/
+  p99 session-frame latency, and aggregate uplink savings vs a unicast
+  control group running the same schedule.
+
+``benchmarks/bench_fleet.py`` drives this module and writes
+``BENCH_fleet.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.capture.dataset import load_video
+from repro.capture.rig import default_rig
+from repro.core.config import SessionConfig
+from repro.core.sender import LiVoSender
+from repro.obs.metrics import MetricsRegistry
+from repro.perf.capture import CachedFrameSource
+from repro.prediction.pose import user_traces_for_video
+from repro.prediction.predictor import ViewingDevice
+from repro.runtime.executors import make_executor
+from repro.runtime.stage import Stage, StageGraph
+from repro.sfu.node import SFUNode, SFUTick
+from repro.transport.downlink import DownlinkSet
+from repro.transport.link import LinkConfig
+from repro.transport.traces import constant_trace
+
+__all__ = ["FleetConfig", "FleetResult", "run_fleet"]
+
+FPS = 30.0
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape of one fleet run."""
+
+    sessions: int = 200
+    frames: int = 30
+    receivers: int = 3          # initial receivers per conference
+    churn_every: int = 10       # one join/leave per session every k frames
+    video: str = "office1"
+    num_cameras: int = 3
+    camera_width: int = 24
+    camera_height: int = 18
+    sample_budget: int = 3000
+    gop_size: int = 6
+    seed: int = 0
+    downlink_mbps: float = 4.0
+    target_rate_bps: float = 2e6
+    unicast_control: int = 4    # control conferences run unicast for the baseline
+    executor_jobs: int = 1      # >1 fans per-receiver culls out on threads
+
+    def __post_init__(self) -> None:
+        if self.sessions <= 0 or self.frames <= 0 or self.receivers <= 0:
+            raise ValueError("sessions/frames/receivers must be positive")
+        if self.churn_every <= 0:
+            raise ValueError("churn_every must be positive")
+        if self.unicast_control <= 0:
+            raise ValueError("unicast_control must be positive")
+
+
+@dataclass
+class FleetResult:
+    """Aggregate capacity numbers for one fleet run."""
+
+    sessions: int
+    frames: int
+    session_frames: int
+    churn_events: int
+    wall_s: float
+    cores_available: int
+    session_frames_per_s: float
+    sessions_per_core: float
+    latency_ms_p50: float
+    latency_ms_p99: float
+    latency_ms_mean: float
+    sfu_uplink_bytes_per_frame: float
+    unicast_uplink_bytes_per_frame: float
+    uplink_savings: float
+    sfu_downlink_bytes_per_frame: float
+    mean_receivers: float
+    control_sessions: int
+    control_wall_per_frame_ms: float
+    sfu_wall_per_frame_ms: float
+    capture_cache: dict = field(default_factory=dict)
+    sfu_metrics: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "sessions": self.sessions,
+            "frames": self.frames,
+            "session_frames": self.session_frames,
+            "churn_events": self.churn_events,
+            "wall_s": round(self.wall_s, 3),
+            "cores_available": self.cores_available,
+            "session_frames_per_s": round(self.session_frames_per_s, 1),
+            "sessions_per_core": round(self.sessions_per_core, 2),
+            "latency_ms": {
+                "p50": round(self.latency_ms_p50, 3),
+                "p99": round(self.latency_ms_p99, 3),
+                "mean": round(self.latency_ms_mean, 3),
+            },
+            "uplink_bytes_per_frame": {
+                "sfu": round(self.sfu_uplink_bytes_per_frame, 1),
+                "unicast": round(self.unicast_uplink_bytes_per_frame, 1),
+            },
+            "uplink_savings": round(self.uplink_savings, 4),
+            "sfu_downlink_bytes_per_frame": round(self.sfu_downlink_bytes_per_frame, 1),
+            "mean_receivers": round(self.mean_receivers, 2),
+            "control_sessions": self.control_sessions,
+            "wall_per_frame_ms": {
+                "sfu": round(self.sfu_wall_per_frame_ms, 3),
+                "unicast_control": round(self.control_wall_per_frame_ms, 3),
+            },
+            "capture_cache": self.capture_cache,
+            "sfu_metrics": self.sfu_metrics,
+        }
+
+
+class _Conference:
+    """One SFU conference: uplink sender + node, driven as a stage graph."""
+
+    def __init__(
+        self, index, rig, config, trace, pose_traces, seed, receivers,
+        churn_every, executor,
+    ):
+        self.index = index
+        self.rig = rig
+        self.config = config
+        self.churn_every = churn_every
+        self.pose_traces = pose_traces
+        self.device = ViewingDevice()
+        self.sender = LiVoSender(rig.cameras, config, self.device)
+        self.node = SFUNode(
+            rig.cameras,
+            config,
+            self.device,
+            downlinks=DownlinkSet(trace, LinkConfig(seed=seed)),
+        )
+        if executor is not None:
+            self.node.attach_executor(executor)
+        self.rng = np.random.default_rng(seed)
+        self.guest_counter = 0
+        self.churn_events = 0
+        self.uplink_bytes = 0
+        self.downlink_bytes = 0
+        self.receiver_frames = 0
+        self._trace_cursor = 0
+        for j in range(receivers):
+            self._join(f"s{index}r{j}")
+
+        def uplink_stage(tick: SFUTick) -> SFUTick:
+            frustums = self.node.predicted_frustums(tick.sequence, tick.horizon_s)
+            frame = tick.frame
+            if frustums:
+                from repro.core.multiway import cull_views_union
+
+                frame = cull_views_union(
+                    tick.frame,
+                    self.rig.cameras,
+                    list(frustums.values()),
+                    cache=self.node.cull_cache,
+                )
+            tick.uplink = self.sender.process(
+                frame, tick.target_rate_bps, tick.horizon_s
+            )
+            return tick
+
+        self.graph = StageGraph(
+            [Stage("sfu:uplink", uplink_stage), *self.node.stages()]
+        )
+
+    def _join(self, name):
+        self.node.add_receiver(name)
+        trace = self.pose_traces[self._trace_cursor % len(self.pose_traces)]
+        self._trace_cursor += 1
+        self.node.book.get(name).extras["trace"] = trace
+
+    def churn(self, sequence) -> int:
+        """Maybe one join or leave this tick (seeded, deterministic)."""
+        if sequence == 0 or sequence % self.churn_every != 0:
+            return 0
+        names = self.node.receiver_names
+        if len(names) > 1 and self.rng.random() < 0.5:
+            self.node.remove_receiver(names[int(self.rng.integers(len(names)))])
+        else:
+            self.guest_counter += 1
+            self._join(f"s{self.index}g{self.guest_counter}")
+        self.churn_events += 1
+        return 1
+
+    def tick(self, frame, now, target_rate_bps, horizon_s) -> float:
+        """One frame for this conference; returns wall seconds spent."""
+        for name in self.node.receiver_names:
+            trace = self.node.book.get(name).extras["trace"]
+            self.node.observe_pose(name, trace.pose_at_frame(frame.sequence), now)
+        tick = SFUTick(
+            frame=frame,
+            uplink=None,
+            now=now,
+            target_rate_bps=target_rate_bps,
+            horizon_s=horizon_s,
+        )
+        start = time.perf_counter()
+        tick = self.graph.run_item(tick)
+        elapsed = time.perf_counter() - start
+        if tick.uplink is not None:
+            self.uplink_bytes += tick.uplink.total_bytes
+        if tick.decisions:
+            self.downlink_bytes += sum(d.bytes for d in tick.decisions.values())
+        self.receiver_frames += len(self.node.receiver_names)
+        return elapsed
+
+    def close(self):
+        self.sender.close()
+        self.node.close()
+
+
+def _run_unicast_control(fleet: FleetConfig, config, rig, source, pose_traces):
+    """The unicast baseline: same schedule, N cloned sender pipelines."""
+    from repro.core.multiway import MultiwaySender
+
+    total_bytes = 0
+    total_frames = 0
+    wall = 0.0
+    for index in range(fleet.unicast_control):
+        names = [f"s{index}r{j}" for j in range(fleet.receivers)]
+        sender = MultiwaySender(rig.cameras, config, names, mode="unicast")
+        rng = np.random.default_rng(fleet.seed + 100_003 + index)
+        traces = {
+            name: pose_traces[j % len(pose_traces)] for j, name in enumerate(names)
+        }
+        cursor = len(names)
+        guests = 0
+        for sequence in range(fleet.frames):
+            now = sequence / FPS
+            if sequence and sequence % fleet.churn_every == 0:
+                active = sender.receiver_names
+                if len(active) > 1 and rng.random() < 0.5:
+                    sender.remove_receiver(active[int(rng.integers(len(active)))])
+                else:
+                    guests += 1
+                    name = f"s{index}g{guests}"
+                    sender.add_receiver(name)
+                    traces[name] = pose_traces[cursor % len(pose_traces)]
+                    cursor += 1
+            for name in sender.receiver_names:
+                sender.observe_pose(name, traces[name].pose_at_frame(sequence), now)
+            frame = source.capture(sequence)
+            start = time.perf_counter()
+            result = sender.process(frame, fleet.target_rate_bps, 0.1)
+            wall += time.perf_counter() - start
+            total_bytes += result.total_bytes
+            total_frames += 1
+        sender.close()
+    return total_bytes / total_frames, wall / total_frames
+
+
+def run_fleet(fleet: FleetConfig) -> FleetResult:
+    """Run the fleet and return its capacity numbers."""
+    config = SessionConfig(
+        num_cameras=fleet.num_cameras,
+        camera_width=fleet.camera_width,
+        camera_height=fleet.camera_height,
+        scene_sample_budget=fleet.sample_budget,
+        gop_size=fleet.gop_size,
+    )
+    _, scene = load_video(fleet.video, sample_budget=fleet.sample_budget)
+    rig = default_rig(
+        num_cameras=fleet.num_cameras,
+        width=fleet.camera_width,
+        height=fleet.camera_height,
+    )
+    # ONE capture source for the whole fleet: the shared kernel cache.
+    source = CachedFrameSource(rig, scene)
+    pose_traces = user_traces_for_video(fleet.video, fleet.frames + 10)
+    trace = constant_trace(fleet.downlink_mbps, duration_s=fleet.frames / FPS + 10.0)
+    executor = (
+        make_executor(fleet.executor_jobs, "thread") if fleet.executor_jobs > 1 else None
+    )
+
+    conferences = []
+    for index in range(fleet.sessions):
+        conferences.append(
+            _Conference(
+                index,
+                rig,
+                config,
+                trace,
+                pose_traces,
+                seed=fleet.seed + index,
+                receivers=fleet.receivers,
+                churn_every=fleet.churn_every,
+                executor=executor,
+            )
+        )
+
+    horizon_s = 0.1
+    latencies = []
+    churn_events = 0
+    wall_start = time.perf_counter()
+    for sequence in range(fleet.frames):
+        now = sequence / FPS
+        frame = source.capture(sequence)
+        for conference in conferences:
+            churn_events += conference.churn(sequence)
+            latencies.append(
+                conference.tick(frame, now, fleet.target_rate_bps, horizon_s)
+            )
+    wall_s = time.perf_counter() - wall_start
+
+    # Aggregate ``sfu.*`` metrics from a sample node (they all share the
+    # metric name space; one conference's registry shows the shape).
+    registry = MetricsRegistry()
+    conferences[0].node.metrics_into(registry)
+    sample_metrics = {
+        name: registry.get(name).to_dict()
+        for name in registry.names()
+        if not name.startswith("sfu.rx.")
+    }
+
+    total_uplink = sum(c.uplink_bytes for c in conferences)
+    total_downlink = sum(c.downlink_bytes for c in conferences)
+    receiver_frames = sum(c.receiver_frames for c in conferences)
+    session_frames = fleet.sessions * fleet.frames
+    for conference in conferences:
+        conference.close()
+    if executor is not None:
+        executor.close()
+
+    unicast_bytes_per_frame, control_ms = _run_unicast_control(
+        fleet, config, rig, source, pose_traces
+    )
+
+    latencies_ms = np.asarray(latencies) * 1e3
+    throughput = session_frames / wall_s if wall_s > 0 else float("inf")
+    return FleetResult(
+        sessions=fleet.sessions,
+        frames=fleet.frames,
+        session_frames=session_frames,
+        churn_events=churn_events,
+        wall_s=wall_s,
+        cores_available=os.cpu_count() or 1,
+        session_frames_per_s=throughput,
+        sessions_per_core=throughput / FPS,
+        latency_ms_p50=float(np.percentile(latencies_ms, 50)),
+        latency_ms_p99=float(np.percentile(latencies_ms, 99)),
+        latency_ms_mean=float(latencies_ms.mean()),
+        sfu_uplink_bytes_per_frame=total_uplink / session_frames,
+        unicast_uplink_bytes_per_frame=unicast_bytes_per_frame,
+        uplink_savings=(
+            1.0 - (total_uplink / session_frames) / unicast_bytes_per_frame
+            if unicast_bytes_per_frame > 0
+            else 0.0
+        ),
+        sfu_downlink_bytes_per_frame=total_downlink / session_frames,
+        mean_receivers=receiver_frames / session_frames,
+        control_sessions=fleet.unicast_control,
+        control_wall_per_frame_ms=control_ms * 1e3,
+        sfu_wall_per_frame_ms=float(latencies_ms.mean()),
+        capture_cache={"capture": source.counters().to_dict()},
+        sfu_metrics=sample_metrics,
+    )

@@ -1,0 +1,451 @@
+"""The SFU node: ingest one uplink stream, forward N tailored downlinks.
+
+Per frame the node runs two phases, exposed both as methods and as
+stage-graph stages (:meth:`SFUNode.stages`):
+
+- **ingest** -- cache the union-culled geometry and encoded sizes of
+  the sender's single uplink stream (one encode per frame, regardless
+  of receiver count);
+- **forward** -- for every receiver: re-cull the *cached* union
+  geometry against the receiver's predicted frustum (the per-receiver
+  cull happens once, at the node -- receivers never see pixels outside
+  their own view), pick a degradation-ladder tier that fits the
+  receiver's bandwidth estimate, split the forwarded budget across
+  depth/color with the receiver's own
+  :class:`~repro.core.bandwidth_split.SplitController`, and offer the
+  burst down the receiver's emulated downlink.
+
+Forwarding is selective, not transcoding: the node never re-encodes.
+A receiver's downlink bytes are the kept fraction of the uplink tiles
+scaled by its tier -- the selective-tile model SLAMCast's multi-client
+architecture uses, which is what makes an SFU cheap enough to run
+hundreds of conferences per core (``repro.sfu.fleet``).
+
+Determinism: receivers are processed in join order, per-frame frustum
+predictions are memoized per receiver, and all tier/byte arithmetic is
+integer -- a conference replays byte-identically under churn.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.capture.rgbd import MultiViewFrame
+from repro.core.bandwidth_split import SplitBook
+from repro.core.config import SessionConfig
+from repro.core.sender import SenderResult
+from repro.geometry.camera import RGBDCamera
+from repro.perf.culling import CullCache
+from repro.prediction.predictor import ViewingDevice
+from repro.runtime.stage import Stage
+from repro.sfu.receivers import ReceiverBook, ReceiverState
+from repro.transport.downlink import DownlinkSend, DownlinkSet
+from repro.transport.gcc import GCCConfig, GoogleCongestionControl
+from repro.transport.traces import BandwidthTrace
+
+__all__ = ["SFUNode", "ForwardDecision", "SFUTick", "TIER_SCALES"]
+
+# Degradation-ladder tiers the node can forward at: fraction of the
+# receiver's full (kept-culled) byte size.  Rung 0 forwards every kept
+# tile; deeper rungs drop refinement tiles, mirroring the session
+# watchdog's half-fps -> coarse-voxel -> chroma-lite ladder shape.
+TIER_SCALES = (1.0, 0.65, 0.4, 0.25)
+
+
+@dataclass
+class ForwardDecision:
+    """What the node forwarded to one receiver for one frame."""
+
+    receiver: str
+    sequence: int
+    kept_points: int
+    union_points: int
+    rung: int
+    rate_bps: float
+    bytes: int
+    depth_bytes: int
+    color_bytes: int
+    delivery_time_s: float | None = None
+    downlink: DownlinkSend | None = None
+    forwarded_multiview: MultiViewFrame | None = None
+
+    @property
+    def kept_fraction(self) -> float:
+        """Fraction of union points inside this receiver's frustum."""
+        if self.union_points == 0:
+            return 0.0
+        return self.kept_points / self.union_points
+
+
+@dataclass
+class SFUTick:
+    """One frame's trip through the node's stage pair."""
+
+    frame: MultiViewFrame
+    uplink: SenderResult | None
+    now: float
+    target_rate_bps: float
+    horizon_s: float
+    decisions: dict[str, ForwardDecision] | None = None
+
+    @property
+    def sequence(self) -> int:
+        return self.frame.sequence
+
+
+class SFUNode:
+    """Selective forwarding node for one conference."""
+
+    def __init__(
+        self,
+        cameras: list[RGBDCamera],
+        config: SessionConfig,
+        device: ViewingDevice | None = None,
+        downlinks: DownlinkSet | None = None,
+        keep_views: bool = False,
+    ) -> None:
+        self.cameras = cameras
+        self.config = config
+        self.device = device or ViewingDevice()
+        self.book = ReceiverBook(self.device, config.guard_band_m)
+        self.downlinks = downlinks
+        self.splits = SplitBook(
+            initial=config.split_initial,
+            minimum=config.split_min,
+            maximum=config.split_max,
+            step=config.split_step,
+            epsilon=config.split_epsilon,
+        )
+        self.cull_cache = CullCache() if config.kernel_cache else None
+        # When set, forward decisions carry the per-receiver culled
+        # multiview (what the receiver would reconstruct from) -- used
+        # by quality benchmarks, too heavy for fleet runs.
+        self.keep_views = keep_views
+        self.tracer = None
+        self._executor = None
+        # Frame-scoped state written by ingest, read by forward.
+        self._cached_sequence: int | None = None
+        self._cached_uplink: SenderResult | None = None
+        self._frame_frustums: dict[str, object] = {}
+        # Aggregate counters for metrics_into.
+        self.frames_ingested = 0
+        self.uplink_bytes = 0
+        self.forwarded_bytes = 0
+        self.receivers_peak = 0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    @property
+    def receiver_names(self) -> list[str]:
+        """Receivers currently served, in join order."""
+        return self.book.names
+
+    def add_receiver(
+        self,
+        name: str,
+        downlink_trace: BandwidthTrace | None = None,
+        now: float = 0.0,
+    ) -> ReceiverState:
+        """A receiver joins: cold predictor, fresh downlink + GCC."""
+        state = self.book.add(name, joined_at_s=now)
+        self.receivers_peak = max(self.receivers_peak, len(self.book))
+        if self.downlinks is not None:
+            link = self.downlinks.add(name, downlink_trace)
+            # Seed the estimate at half the downlink's mean capacity,
+            # the same conservative start the two-party session uses.
+            initial = max(0.5 * link.trace.stats().mean * 1e6, 1e5)
+            state.gcc = GoogleCongestionControl(
+                GCCConfig(initial_rate_bps=initial, min_rate_bps=min(1e6, initial))
+            )
+        return state
+
+    def remove_receiver(self, name: str) -> ReceiverState:
+        """A receiver leaves: drop its predictor, downlink, and split."""
+        state = self.book.remove(name)
+        if self.downlinks is not None and name in self.downlinks:
+            self.downlinks.remove(name)
+        self.splits.drop(name)
+        self._frame_frustums.pop(name, None)
+        return state
+
+    def observe_pose(self, name, pose, timestamp_s: float) -> None:
+        """Fold in one receiver's delayed pose report."""
+        self.book.observe_pose(name, pose, timestamp_s)
+
+    # ------------------------------------------------------------------
+    # Runtime attachment
+    # ------------------------------------------------------------------
+
+    def attach_executor(self, executor) -> None:
+        """Fan the per-receiver cull out through a (thread) executor.
+
+        Process pools are deliberately not used here: the node's cached
+        union geometry lives in post-fork state, so shipping it per
+        receiver would cost more than the cull itself (the same
+        process-local-cache argument as DESIGN.md section 9).
+        """
+        self._executor = executor
+
+    def attach_tracer(self, tracer) -> None:
+        """Emit one ``sfu:forward:<receiver>`` sim-clock span per
+        forwarded frame -- per-receiver track lanes in the timeline."""
+        self.tracer = tracer
+
+    # ------------------------------------------------------------------
+    # Frame phases
+    # ------------------------------------------------------------------
+
+    def predicted_frustums(self, sequence: int, horizon_s: float) -> dict[str, object]:
+        """Per-receiver predicted frustums for this frame (memoized).
+
+        Ready receivers only, join order.  The union cull and the
+        per-receiver forward cull share these exact frustum objects, so
+        the cull cache's transform memo spans both passes.
+        """
+        if sequence != self._cached_sequence or not self._frame_frustums:
+            self._frame_frustums = {
+                state.name: state.predictor.predict_frustum(horizon_s)
+                for state in self.book.ready_states()
+            }
+            self._cached_sequence = sequence
+        return self._frame_frustums
+
+    def ingest(self, frame: MultiViewFrame, uplink: SenderResult | None, now: float) -> None:
+        """Cache one frame's union-culled uplink stream for forwarding."""
+        self._cached_uplink = uplink
+        self._cached_sequence = frame.sequence
+        self.frames_ingested += 1
+        if uplink is not None:
+            self.uplink_bytes += uplink.total_bytes
+
+    def _kept_points(self, frustum) -> int:
+        """Points of the cached union geometry inside one frustum."""
+        uplink = self._cached_uplink
+        assert uplink is not None
+        kept = 0
+        for view, camera in zip(uplink.culled_multiview.views, self.cameras):
+            if self.cull_cache is not None:
+                points, valid = self.cull_cache.local_points(camera, view.depth_mm)
+                local = self.cull_cache.transformed_frustum(frustum, camera)
+            else:
+                points, valid = camera.local_points(view.depth_mm)
+                local = frustum.transformed(camera.extrinsics.world_to_camera)
+            kept += int((local.contains_grid(points) & valid).sum())
+        return kept
+
+    def _culled_views(self, frustum) -> MultiViewFrame:
+        """The per-receiver culled multiview (quality-bench path)."""
+        uplink = self._cached_uplink
+        assert uplink is not None
+        source = uplink.culled_multiview
+        culled = []
+        for view, camera in zip(source.views, self.cameras):
+            if self.cull_cache is not None:
+                points, valid = self.cull_cache.local_points(camera, view.depth_mm)
+                local = self.cull_cache.transformed_frustum(frustum, camera)
+            else:
+                points, valid = camera.local_points(view.depth_mm)
+                local = frustum.transformed(camera.extrinsics.world_to_camera)
+            culled.append(view.culled(local.contains_grid(points) & valid))
+        return MultiViewFrame(
+            culled, sequence=source.sequence, timestamp_s=source.timestamp_s
+        )
+
+    def _pick_rung(self, state: ReceiverState, full_bytes: int, budget_bytes: float) -> int:
+        """Deepest-necessary tier, ladder-stepped at most one rung/frame."""
+        ideal = len(TIER_SCALES) - 1
+        for rung, scale in enumerate(TIER_SCALES):
+            if full_bytes * scale <= budget_bytes:
+                ideal = rung
+                break
+        # Hysteresis: move toward the ideal one rung at a time, the
+        # same +-1 stepping contract the session watchdog's ladder has.
+        if ideal > state.rung:
+            return state.rung + 1
+        if ideal < state.rung:
+            return state.rung - 1
+        return ideal
+
+    def forward(
+        self,
+        now: float,
+        horizon_s: float,
+        target_rate_bps: float,
+    ) -> dict[str, ForwardDecision]:
+        """Forward the cached frame to every receiver, join order."""
+        uplink = self._cached_uplink
+        decisions: dict[str, ForwardDecision] = {}
+        if uplink is None:
+            return decisions
+        sequence = uplink.sequence
+        union_points = uplink.culled_multiview.total_points()
+        uplink_bytes = uplink.total_bytes
+        frustums = self.predicted_frustums(sequence, horizon_s)
+        if self.cull_cache is not None:
+            self.cull_cache.begin_frame(sequence)
+            # Prime the per-camera point grids sequentially so threaded
+            # per-receiver culls only read the memo (no write races).
+            for view, camera in zip(uplink.culled_multiview.views, self.cameras):
+                self.cull_cache.local_points(camera, view.depth_mm)
+
+        names = self.book.names
+        ready_jobs = [
+            frustums[name] for name in names if name in frustums
+        ]
+        executor = self._executor
+        if (
+            executor is not None
+            and executor.parallel
+            and executor.kind == "thread"
+            and not uplink.empty
+            and len(ready_jobs) > 1
+        ):
+            kept_by_frustum = dict(
+                zip(
+                    (id(f) for f in ready_jobs),
+                    executor.map(self._kept_points, ready_jobs),
+                )
+            )
+        else:
+            kept_by_frustum = None
+
+        for name in names:
+            state = self.book.get(name)
+            frustum = frustums.get(name)
+            if uplink.empty or union_points == 0 or uplink_bytes == 0:
+                kept = 0
+                full_bytes = 0
+            elif frustum is None:
+                # Cold predictor: the receiver gets the whole union
+                # stream until its first pose report lands.
+                kept = union_points
+                full_bytes = uplink_bytes
+            else:
+                if kept_by_frustum is not None:
+                    kept = kept_by_frustum[id(frustum)]
+                else:
+                    kept = self._kept_points(frustum)
+                full_bytes = (
+                    math.ceil(uplink_bytes * kept / union_points) if kept else 0
+                )
+            rate = state.estimated_rate_bps(target_rate_bps)
+            budget_bytes = max(rate / 8.0 * self.config.frame_interval_s, 2.0)
+            if full_bytes > 0:
+                rung = self._pick_rung(state, full_bytes, budget_bytes)
+                size = max(1, int(full_bytes * TIER_SCALES[rung]))
+                depth_bytes, color_bytes = self.splits.allocate(name, size)
+            else:
+                rung = state.rung
+                size = depth_bytes = color_bytes = 0
+            send: DownlinkSend | None = None
+            delivery: float | None = None
+            if self.downlinks is not None and name in self.downlinks and size > 0:
+                send = self.downlinks.send(name, now, size)
+                delivery = send.delivery_time_s
+                if state.gcc is not None:
+                    if send.delivered_packets:
+                        state.gcc.on_feedback_batch(
+                            now,
+                            list(send.arrival_times_s),
+                            list(send.delivered_sizes),
+                        )
+                    state.gcc.on_loss_report(
+                        (send.packets - send.delivered_packets) / send.packets
+                    )
+            decision = ForwardDecision(
+                receiver=name,
+                sequence=sequence,
+                kept_points=kept,
+                union_points=union_points,
+                rung=rung,
+                rate_bps=rate,
+                bytes=size,
+                depth_bytes=depth_bytes,
+                color_bytes=color_bytes,
+                delivery_time_s=delivery,
+                downlink=send,
+                forwarded_multiview=(
+                    self._culled_views(frustum)
+                    if self.keep_views and frustum is not None and not uplink.empty
+                    else (uplink.culled_multiview if self.keep_views else None)
+                ),
+            )
+            decisions[name] = decision
+            state.rung = rung
+            state.last_kept_fraction = decision.kept_fraction
+            state.frames_forwarded += 1
+            state.bytes_forwarded += size
+            self.forwarded_bytes += size
+            if self.tracer is not None:
+                self.tracer.add_span(
+                    f"sfu:forward:{name}",
+                    category="sfu",
+                    trace_id=sequence,
+                    start_s=now,
+                    end_s=delivery if delivery is not None else now,
+                    attrs={
+                        "bytes": size,
+                        "rung": rung,
+                        "kept_fraction": round(decision.kept_fraction, 4),
+                    },
+                )
+        return decisions
+
+    # ------------------------------------------------------------------
+    # Stage-graph integration
+    # ------------------------------------------------------------------
+
+    def stages(self) -> list[Stage]:
+        """The node's frame phases as runtime stages over :class:`SFUTick`.
+
+        ``StageGraph([.., *node.stages()])`` lets a session schedule
+        ingest/forward like any other stage (timed, traceable, executor
+        fan-out via :meth:`attach_executor`).
+        """
+
+        def ingest_stage(tick: SFUTick) -> SFUTick:
+            self.ingest(tick.frame, tick.uplink, tick.now)
+            return tick
+
+        def forward_stage(tick: SFUTick) -> SFUTick:
+            tick.decisions = self.forward(
+                tick.now, tick.horizon_s, tick.target_rate_bps
+            )
+            return tick
+
+        return [Stage("sfu:ingest", ingest_stage), Stage("sfu:forward", forward_stage)]
+
+    # ------------------------------------------------------------------
+    # Observability / lifecycle
+    # ------------------------------------------------------------------
+
+    def metrics_into(self, registry) -> None:
+        """Export ``sfu.*`` metrics into a MetricsRegistry."""
+        registry.counter("sfu.frames_ingested").inc(self.frames_ingested)
+        registry.counter("sfu.uplink_bytes").inc(self.uplink_bytes)
+        registry.counter("sfu.forwarded_bytes").inc(self.forwarded_bytes)
+        registry.counter("sfu.receiver_joins").inc(self.book.total_joins)
+        registry.counter("sfu.receiver_leaves").inc(self.book.total_leaves)
+        registry.gauge("sfu.receivers").set(len(self.book))
+        registry.gauge("sfu.receivers_peak").set(self.receivers_peak)
+        for state in self.book:
+            prefix = f"sfu.rx.{state.name}"
+            registry.counter(f"{prefix}.frames").inc(state.frames_forwarded)
+            registry.counter(f"{prefix}.bytes").inc(state.bytes_forwarded)
+            registry.gauge(f"{prefix}.rung").set(state.rung)
+            registry.gauge(f"{prefix}.kept_fraction").set(state.last_kept_fraction)
+        if self.downlinks is not None:
+            self.downlinks.metrics_into(registry)
+        if self.cull_cache is not None:
+            registry.absorb_cache_stats(
+                {"cull_projection": self.cull_cache.counters.to_dict()}
+            )
+
+    def close(self) -> None:
+        """Drop frame-scoped geometry and per-receiver transports."""
+        self._cached_uplink = None
+        self._frame_frustums = {}
+        self._executor = None

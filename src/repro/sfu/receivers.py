@@ -1,0 +1,120 @@
+"""Per-receiver state: the book an SFU (or sender shim) keeps.
+
+Each receiver in a conference owns a :class:`ReceiverState`: its
+frustum predictor (fed by delayed pose reports), its congestion
+controller (fed by downlink feedback when the node emulates downlinks),
+its degradation rung, and forwarding counters.  The
+:class:`ReceiverBook` is the insertion-ordered registry of those
+states -- insertion order is the iteration order everywhere, which is
+what makes conference runs byte-deterministic under churn.
+
+``repro.core.multiway.MultiwaySender`` and ``repro.sfu.node.SFUNode``
+share this book, so "who is in the conference and what do we know about
+them" has exactly one implementation across all three fan-out modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.prediction.pose import Pose
+from repro.prediction.predictor import FrustumPredictor, ViewingDevice
+from repro.transport.gcc import GoogleCongestionControl
+
+__all__ = ["ReceiverState", "ReceiverBook"]
+
+
+@dataclass
+class ReceiverState:
+    """Everything the fan-out path knows about one receiver."""
+
+    name: str
+    predictor: FrustumPredictor
+    joined_at_s: float = 0.0
+    join_ordinal: int = 0
+    # Degradation-ladder rung the node last chose for this receiver
+    # (0 = full tier); see ``repro.sfu.node.TIER_SCALES``.
+    rung: int = 0
+    frames_forwarded: int = 0
+    bytes_forwarded: int = 0
+    last_kept_fraction: float = 1.0
+    # Per-downlink congestion estimate; None until the node provisions
+    # an emulated downlink for this receiver.
+    gcc: GoogleCongestionControl | None = None
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def ready(self) -> bool:
+        """Whether the predictor has seen at least one pose."""
+        return self.predictor.ready
+
+    def estimated_rate_bps(self, default: float) -> float:
+        """The receiver's bandwidth estimate, or ``default`` if unfed."""
+        if self.gcc is None:
+            return default
+        return min(self.gcc.target_rate_bps(), default)
+
+
+class ReceiverBook:
+    """Insertion-ordered registry of conference receivers."""
+
+    def __init__(self, device: ViewingDevice, guard_band_m: float) -> None:
+        self.device = device
+        self.guard_band_m = float(guard_band_m)
+        self._states: dict[str, ReceiverState] = {}
+        self._join_counter = 0
+        self.total_joins = 0
+        self.total_leaves = 0
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._states
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self):
+        return iter(self._states.values())
+
+    @property
+    def names(self) -> list[str]:
+        """Receivers currently present, in join order."""
+        return list(self._states)
+
+    @property
+    def predictors(self) -> dict[str, FrustumPredictor]:
+        """Name -> predictor view (the ``MultiwaySender`` legacy surface)."""
+        return {name: state.predictor for name, state in self._states.items()}
+
+    def add(self, name: str, joined_at_s: float = 0.0) -> ReceiverState:
+        """Register a joining receiver with a cold predictor."""
+        if name in self._states:
+            raise ValueError(f"receiver {name!r} already present")
+        state = ReceiverState(
+            name=name,
+            predictor=FrustumPredictor(self.device, guard_band_m=self.guard_band_m),
+            joined_at_s=joined_at_s,
+            join_ordinal=self._join_counter,
+        )
+        self._join_counter += 1
+        self.total_joins += 1
+        self._states[name] = state
+        return state
+
+    def remove(self, name: str) -> ReceiverState:
+        """Deregister a leaving receiver; returns its final state."""
+        if name not in self._states:
+            raise ValueError(f"receiver {name!r} not present")
+        self.total_leaves += 1
+        return self._states.pop(name)
+
+    def get(self, name: str) -> ReceiverState:
+        """The receiver's state (KeyError if absent)."""
+        return self._states[name]
+
+    def observe_pose(self, name: str, pose: Pose, timestamp_s: float) -> None:
+        """Fold one receiver's delayed pose report into its predictor."""
+        self._states[name].predictor.observe(pose, timestamp_s)
+
+    def ready_states(self) -> list[ReceiverState]:
+        """Receivers whose predictors are warm, in join order."""
+        return [state for state in self._states.values() if state.ready]

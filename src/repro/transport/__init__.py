@@ -16,10 +16,13 @@ machinery as a discrete-time simulation:
 - :mod:`repro.transport.channel` -- the WebRTC-like channel tying those
   together, with NACK/PLI-style recovery and an RTT estimator;
 - :mod:`repro.transport.tcp` -- a reliable in-order byte stream (fluid
-  model) used by the MeshReduce baseline.
+  model) used by the MeshReduce baseline;
+- :mod:`repro.transport.downlink` -- per-receiver downlink registry for
+  SFU fan-out (one emulated link per receiver).
 """
 
 from repro.transport.channel import FrameDelivery, WebRTCChannel, WebRTCConfig
+from repro.transport.downlink import DownlinkSend, DownlinkSet
 from repro.transport.gcc import GoogleCongestionControl
 from repro.transport.jitter import JitterBuffer
 from repro.transport.link import EmulatedLink, LinkConfig
@@ -28,6 +31,8 @@ from repro.transport.tcp import ReliableByteStream
 from repro.transport.traces import BandwidthTrace, trace_1, trace_2
 
 __all__ = [
+    "DownlinkSend",
+    "DownlinkSet",
     "FrameDelivery",
     "WebRTCChannel",
     "WebRTCConfig",

@@ -130,3 +130,143 @@ class TestMultiwaySender:
         config, rig, _ = setup
         sender = MultiwaySender(rig.cameras, config, ["x", "y"], mode="unicast")
         assert sender.receiver_names == ["x", "y"]
+
+    def test_shared_matches_manual_pipeline_byte_for_byte(self, setup):
+        """Shared mode is exactly predict -> union-cull -> one encode.
+
+        Rebuilding that pipeline by hand from the public pieces must
+        produce bit-identical payloads -- the refactor to the SFU shim
+        may not have changed shared mode's wire bytes."""
+        from repro.core.sender import LiVoSender
+        from repro.prediction.predictor import FrustumPredictor, ViewingDevice
+
+        config, rig, scene = setup
+        device = ViewingDevice()
+        sender = MultiwaySender(
+            rig.cameras, config, ["alice", "bob"], mode="shared", device=device
+        )
+        manual = LiVoSender(rig.cameras, config, device)
+        predictors = {
+            name: FrustumPredictor(device, guard_band_m=config.guard_band_m)
+            for name in ("alice", "bob")
+        }
+        poses = self.poses()
+        for sequence in range(3):
+            now = sequence / 30.0
+            for name, pose in poses.items():
+                sender.observe_pose(name, pose, now)
+                predictors[name].observe(pose, now)
+            frame = rig.capture(scene, sequence)
+            result = sender.process(frame, 8e6, 0.1)
+            frustums = [
+                p.predict_frustum(0.1) for p in predictors.values() if p.ready
+            ]
+            culled = (
+                cull_views_union(frame, rig.cameras, frustums) if frustums else frame
+            )
+            expected = manual.process(culled, 8e6, 0.1)
+            assert result.shared.color_frame.payload == expected.color_frame.payload
+            assert result.shared.depth_frame.payload == expected.depth_frame.payload
+        sender.close()
+        manual.close()
+
+
+class TestChurnParity:
+    """Mid-session join/leave must behave identically across modes."""
+
+    CHURN = {2: ("add", "carol"), 4: ("remove", "bob")}
+    FRAMES = 6
+
+    def poses(self):
+        return {
+            "alice": Pose.looking_at(np.array([1.2, 1.4, -1.6]), np.array([0, 1, 0])),
+            "bob": Pose.looking_at(np.array([-1.2, 1.4, -1.6]), np.array([0, 1, 0])),
+            "carol": Pose.looking_at(np.array([0.0, 1.6, 1.8]), np.array([0, 1, 0])),
+        }
+
+    def run_mode(self, setup, mode):
+        config, rig, scene = setup
+        sender = MultiwaySender(rig.cameras, config, ["alice", "bob"], mode=mode)
+        poses = self.poses()
+        rosters = []
+        runs = []
+        bytes_per_frame = []
+        for sequence in range(self.FRAMES):
+            now = sequence / 30.0
+            event = self.CHURN.get(sequence)
+            if event:
+                action, name = event
+                if action == "add":
+                    sender.add_receiver(name, now=now)
+                else:
+                    sender.remove_receiver(name)
+            for name in sender.receiver_names:
+                sender.observe_pose(name, poses[name], now)
+            result = sender.process(rig.capture(scene, sequence), 8e6, 0.1)
+            rosters.append(list(sender.receiver_names))
+            runs.append(result.encoder_runs)
+            bytes_per_frame.append(result.total_bytes)
+        sender.close()
+        return rosters, runs, bytes_per_frame
+
+    def test_rosters_identical_and_encoder_runs_scale(self, setup):
+        by_mode = {
+            mode: self.run_mode(setup, mode)
+            for mode in ("shared", "unicast", "sfu")
+        }
+        rosters = {mode: rows[0] for mode, rows in by_mode.items()}
+        # Same join-order roster after every churn event, in all modes.
+        assert rosters["shared"] == rosters["unicast"] == rosters["sfu"]
+        assert rosters["shared"][2] == ["alice", "bob", "carol"]
+        assert rosters["shared"][4] == ["alice", "carol"]
+        # Unicast encodes once per active receiver; shared and sfu keep
+        # exactly one encoder pair regardless of churn.
+        for sequence, roster in enumerate(rosters["unicast"]):
+            assert by_mode["unicast"][1][sequence] == 2 * len(roster)
+            assert by_mode["shared"][1][sequence] == 2
+            assert by_mode["sfu"][1][sequence] == 2
+        # SFU's uplink is the shared stream, byte for byte, under churn.
+        assert by_mode["sfu"][2] == by_mode["shared"][2]
+
+    def test_no_leaked_encoder_workers(self, setup, monkeypatch):
+        """Every LiVoSender opened by a multiway sender is closed --
+        on receiver leave for its unicast sender, and on close() for
+        the rest.  No worker may be closed twice or never."""
+        from repro.core.sender import LiVoSender
+
+        opened = []
+        closed = []
+        original_init = LiVoSender.__init__
+        original_close = LiVoSender.close
+
+        def tracking_init(self, *args, **kwargs):
+            original_init(self, *args, **kwargs)
+            opened.append(self)
+
+        def tracking_close(self):
+            closed.append(self)
+            original_close(self)
+
+        monkeypatch.setattr(LiVoSender, "__init__", tracking_init)
+        monkeypatch.setattr(LiVoSender, "close", tracking_close)
+
+        config, rig, scene = setup
+        for mode in ("shared", "unicast", "sfu"):
+            opened.clear()
+            closed.clear()
+            sender = MultiwaySender(
+                rig.cameras, config, ["alice", "bob"], mode=mode
+            )
+            sender.add_receiver("carol")
+            sender.process(rig.capture(scene, 0), 8e6, 0.1)
+            sender.remove_receiver("bob")
+            if mode == "unicast":
+                # Leaving closes the leaver's dedicated sender at once.
+                assert len(closed) == 1
+                assert closed[0].receiver_id == "bob"
+                assert "bob" not in sender._senders
+            sender.close()
+            # unicast: alice + bob + carol; shared/sfu: one uplink sender.
+            assert len(opened) == (3 if mode == "unicast" else 1), mode
+            # Every opened sender closed exactly once, none twice.
+            assert sorted(map(id, closed)) == sorted(map(id, opened)), mode

@@ -1,0 +1,476 @@
+"""Tests for the SFU subsystem: cull cache, node, downlinks, fleet."""
+
+import numpy as np
+import pytest
+
+from repro.capture.dataset import load_video
+from repro.capture.rig import default_rig
+from repro.core.bandwidth_split import SplitBook, SplitController
+from repro.core.config import SessionConfig
+from repro.core.multiway import cull_views_union
+from repro.core.sender import LiVoSender
+from repro.geometry.frustum import Frustum
+from repro.obs.metrics import MetricsRegistry
+from repro.perf.culling import CullCache
+from repro.prediction.pose import Pose
+from repro.runtime.executors import make_executor
+from repro.runtime.stage import StageGraph
+from repro.sfu import SFUNode, TIER_SCALES
+from repro.sfu.node import SFUTick
+from repro.transport.downlink import DownlinkSet, MTU_BYTES
+from repro.transport.link import LinkConfig
+from repro.transport.traces import constant_trace
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = SessionConfig(
+        num_cameras=4, camera_width=48, camera_height=36,
+        scene_sample_budget=8_000, gop_size=8,
+    )
+    rig = default_rig(num_cameras=4, width=48, height=36)
+    _, scene = load_video("pizza1", sample_budget=8_000)
+    return config, rig, scene
+
+
+def narrow_frustum(position, fov=35.0):
+    return Frustum.from_camera(
+        np.asarray(position, dtype=float), np.eye(3),
+        vertical_fov_deg=fov, aspect=1.4, near_m=0.1, far_m=6.0,
+    )
+
+
+def poses_for(names):
+    spots = {
+        0: [1.2, 1.4, -1.6], 1: [-1.2, 1.4, -1.6],
+        2: [0.0, 1.6, 1.8], 3: [1.5, 1.2, 1.0],
+    }
+    return {
+        name: Pose.looking_at(
+            np.array(spots[index % 4], dtype=float), np.array([0.0, 1.0, 0.0])
+        )
+        for index, name in enumerate(names)
+    }
+
+
+# ----------------------------------------------------------------------
+# CullCache
+# ----------------------------------------------------------------------
+
+
+class TestCullCache:
+    def test_cached_union_cull_byte_identical(self, setup):
+        _, rig, scene = setup
+        frame = rig.capture(scene, 0)
+        frustums = [
+            narrow_frustum([0.6, 1.0, -2.0]), narrow_frustum([-0.6, 1.0, -2.0])
+        ]
+        plain = cull_views_union(frame, rig.cameras, frustums)
+        cached = cull_views_union(frame, rig.cameras, frustums, cache=CullCache())
+        for a, b in zip(plain.views, cached.views):
+            assert np.array_equal(a.color, b.color)
+            assert np.array_equal(a.depth_mm, b.depth_mm)
+
+    def test_repeat_cull_hits_cache(self, setup):
+        _, rig, scene = setup
+        frame = rig.capture(scene, 0)
+        frustum = narrow_frustum([0.0, 1.2, -2.0])
+        cache = CullCache()
+        cull_views_union(frame, rig.cameras, [frustum], cache=cache)
+        misses_after_first = cache.counters.misses
+        cull_views_union(frame, rig.cameras, [frustum], cache=cache)
+        assert cache.counters.misses == misses_after_first
+        assert cache.counters.hits > 0
+
+    def test_new_sequence_invalidates_frame_memos(self, setup):
+        _, rig, scene = setup
+        frustum = narrow_frustum([0.0, 1.2, -2.0])
+        cache = CullCache()
+        first = cull_views_union(
+            rig.capture(scene, 0), rig.cameras, [frustum], cache=cache
+        )
+        second = cull_views_union(
+            rig.capture(scene, 5), rig.cameras, [frustum], cache=cache
+        )
+        plain = cull_views_union(rig.capture(scene, 5), rig.cameras, [frustum])
+        # Frame 5's cached cull matches an uncached cull of frame 5:
+        # frame 0's memoized grids did not leak across the sequence.
+        for a, b in zip(second.views, plain.views):
+            assert np.array_equal(a.depth_mm, b.depth_mm)
+        assert first.total_points() >= 0
+
+    def test_valid_mask_fresh_per_call(self, setup):
+        """Masks come from the passed depth, not the memoized grid."""
+        _, rig, scene = setup
+        frame = rig.capture(scene, 0)
+        camera = rig.cameras[0]
+        cache = CullCache()
+        cache.begin_frame(0)
+        _, valid = cache.local_points(camera, frame.views[0].depth_mm)
+        zeroed = frame.views[0].depth_mm.copy()
+        zeroed[:] = 0
+        _, valid_zero = cache.local_points(camera, zeroed)
+        assert valid.any()
+        assert not valid_zero.any()
+
+
+# ----------------------------------------------------------------------
+# SplitBook
+# ----------------------------------------------------------------------
+
+
+class TestSplitBook:
+    def book(self):
+        return SplitBook(
+            initial=0.7, minimum=0.5, maximum=0.9, step=0.005, epsilon=0.5
+        )
+
+    def test_matches_standalone_controller(self):
+        book = self.book()
+        solo = SplitController(
+            initial=0.7, minimum=0.5, maximum=0.9, step=0.005, epsilon=0.5
+        )
+        for _ in range(5):
+            book.update("a", depth_rmse=4.0, color_rmse=1.0)
+            solo.update(depth_rmse=4.0, color_rmse=1.0)
+        assert book.allocate("a", 10_000) == solo.allocate(10_000)
+
+    def test_receivers_independent(self):
+        book = self.book()
+        for _ in range(5):
+            book.update("skewed", depth_rmse=6.0, color_rmse=0.5)
+        assert book.allocate("skewed", 10_000) != book.allocate("fresh", 10_000)
+
+    def test_drop_forgets_state(self):
+        book = self.book()
+        book.update("a", depth_rmse=6.0, color_rmse=0.5)
+        skewed = book.allocate("a", 10_000)
+        book.drop("a")
+        assert "a" not in book
+        assert book.allocate("a", 10_000) != skewed
+
+
+# ----------------------------------------------------------------------
+# DownlinkSet
+# ----------------------------------------------------------------------
+
+
+class TestDownlinkSet:
+    def links(self):
+        return DownlinkSet(constant_trace(4.0, 30.0), LinkConfig(seed=3))
+
+    def test_membership_and_packetization(self):
+        links = self.links()
+        links.add("a")
+        assert "a" in links and len(links) == 1
+        size = int(2.5 * MTU_BYTES)
+        send = links.send("a", 0.0, size)
+        assert send.packets == 3
+        assert send.size_bytes == size
+        assert send.delivered_packets == 3
+        assert send.delivery_time_s is not None
+
+    def test_per_receiver_traces_and_removal(self):
+        links = self.links()
+        links.add("fast", constant_trace(50.0, 30.0))
+        links.add("slow", constant_trace(0.5, 30.0))
+        fast = links.send("fast", 0.0, 6 * MTU_BYTES)
+        slow = links.send("slow", 0.0, 6 * MTU_BYTES)
+        assert fast.delivery_time_s < slow.delivery_time_s
+        links.remove("slow")
+        assert "slow" not in links
+        with pytest.raises(KeyError):
+            links.link("slow")
+
+    def test_rejoin_gets_fresh_seeded_link(self):
+        """Join ordinal seeds each link: a rejoin is a new link, and two
+        identical histories produce identical deliveries."""
+
+        def run():
+            links = DownlinkSet(constant_trace(4.0, 30.0), LinkConfig(seed=3))
+            links.add("a")
+            links.add("b")
+            links.remove("a")
+            links.add("a")
+            return links.send("a", 0.0, 5 * MTU_BYTES).arrival_times_s
+
+        assert run() == run()
+
+    def test_metrics_exported(self):
+        links = self.links()
+        links.add("a")
+        links.send("a", 0.0, 3000)
+        registry = MetricsRegistry()
+        links.metrics_into(registry)
+        names = registry.names()
+        assert "sfu.downlink.bursts" in names
+        assert "sfu.downlink.packets_sent" in names
+
+
+# ----------------------------------------------------------------------
+# SFUNode
+# ----------------------------------------------------------------------
+
+
+def drive_node(node, rig, scene, config, frames, target_bps=8e6, churn=None,
+               forward_bps=None):
+    """Feed poses + union-culled uplink, collect per-frame decisions.
+
+    ``forward_bps`` lets a test starve the downlinks while the uplink
+    encode stays rich (defaults to ``target_bps`` for both).
+    """
+    sender = LiVoSender(rig.cameras, config, node.device)
+    poses = poses_for([f"r{i}" for i in range(8)])
+    horizon = 0.1
+    out = []
+    for sequence in range(frames):
+        now = sequence / 30.0
+        if churn:
+            churn(node, sequence, now)
+        for name in node.receiver_names:
+            node.observe_pose(name, poses.get(name) or poses["r0"], now)
+        frame = rig.capture(scene, sequence)
+        frustums = node.predicted_frustums(sequence, horizon)
+        culled = (
+            cull_views_union(
+                frame, rig.cameras, list(frustums.values()), cache=node.cull_cache
+            )
+            if frustums
+            else frame
+        )
+        uplink = sender.process(culled, target_bps, horizon)
+        node.ingest(frame, uplink, now)
+        out.append(
+            node.forward(now, horizon, forward_bps if forward_bps else target_bps)
+        )
+    sender.close()
+    return out
+
+
+def decisions_signature(runs):
+    return [
+        {
+            name: (d.bytes, d.rung, d.kept_points, d.union_points)
+            for name, d in decisions.items()
+        }
+        for decisions in runs
+    ]
+
+
+class TestSFUNode:
+    def node(self, setup, downlinks=False, cache=True):
+        config, rig, _ = setup
+        if not cache:
+            config = SessionConfig(
+                **{
+                    **{f: getattr(config, f) for f in (
+                        "num_cameras", "camera_width", "camera_height",
+                        "scene_sample_budget", "gop_size",
+                    )},
+                    "kernel_cache": False,
+                }
+            )
+        links = (
+            DownlinkSet(constant_trace(4.0, 30.0), LinkConfig(seed=5))
+            if downlinks
+            else None
+        )
+        node = SFUNode(rig.cameras, config, downlinks=links)
+        for name in ("r0", "r1"):
+            node.add_receiver(name)
+        return node, config
+
+    def test_forward_without_ingest_is_empty(self, setup):
+        node, _ = self.node(setup)
+        assert node.forward(0.0, 0.1, 8e6) == {}
+
+    def test_deterministic_replay(self, setup):
+        config, rig, scene = setup
+
+        def run():
+            node, _ = self.node(setup, downlinks=True)
+            out = drive_node(node, rig, scene, config, frames=4)
+            node.close()
+            return decisions_signature(out)
+
+        assert run() == run()
+
+    def test_cull_cache_parity(self, setup):
+        config, rig, scene = setup
+        cached_node, _ = self.node(setup)
+        plain_node, plain_config = self.node(setup, cache=False)
+        assert cached_node.cull_cache is not None
+        assert plain_node.cull_cache is None
+        cached = drive_node(cached_node, rig, scene, config, frames=3)
+        plain = drive_node(plain_node, rig, scene, plain_config, frames=3)
+        assert decisions_signature(cached) == decisions_signature(plain)
+
+    def test_cold_receiver_gets_full_union(self, setup):
+        """A receiver that has never reported a pose receives the whole
+        union stream until its predictor warms up."""
+        config, rig, scene = setup
+        node, _ = self.node(setup)
+        node.add_receiver("mute")
+        sender = LiVoSender(rig.cameras, config, node.device)
+        poses = poses_for(["r0", "r1"])
+        for name in ("r0", "r1"):
+            node.observe_pose(name, poses[name], 0.0)
+        frame = rig.capture(scene, 0)
+        frustums = node.predicted_frustums(0, 0.1)
+        assert "mute" not in frustums
+        culled = cull_views_union(
+            frame, rig.cameras, list(frustums.values()), cache=node.cull_cache
+        )
+        uplink = sender.process(culled, 8e6, 0.1)
+        node.ingest(frame, uplink, 0.0)
+        decisions = node.forward(0.0, 0.1, 8e6)
+        sender.close()
+        assert decisions["mute"].kept_points == decisions["mute"].union_points
+        assert decisions["r0"].kept_points < decisions["r0"].union_points
+
+    def test_rung_descends_one_step_per_frame_under_starvation(self, setup):
+        """Rich uplink, starved downlink: the tier ladder steps down one
+        rung per frame until it bottoms out at the deepest tier."""
+        config, rig, scene = setup
+        node, _ = self.node(setup)
+        out = drive_node(
+            node, rig, scene, config, frames=5, target_bps=8e6, forward_bps=2e4
+        )
+        rungs = [d["r0"].rung for d in out]
+        assert rungs[0] == 1  # one step down, not a cliff
+        for previous, current in zip(rungs, rungs[1:]):
+            assert abs(current - previous) <= 1
+        # Starved at 20 kbps, it must reach the deepest tier.
+        assert rungs[-1] == len(TIER_SCALES) - 1
+
+    def test_forward_decision_invariants(self, setup):
+        config, rig, scene = setup
+        node, _ = self.node(setup)
+        out = drive_node(node, rig, scene, config, frames=2, target_bps=8e6)
+        for decisions in out:
+            for decision in decisions.values():
+                assert 0 <= decision.kept_points <= decision.union_points
+                if decision.kept_points:
+                    assert decision.bytes > 0
+                # The split controller partitions the forwarded budget.
+                parts = decision.depth_bytes + decision.color_bytes
+                assert decision.bytes <= parts <= decision.bytes + 1
+
+    def test_remove_receiver_clears_state(self, setup):
+        node, _ = self.node(setup, downlinks=True)
+        node.splits.allocate("r1", 1000)
+        node.remove_receiver("r1")
+        assert "r1" not in node.book
+        assert "r1" not in node.downlinks
+        assert "r1" not in node.splits
+        with pytest.raises(ValueError):
+            node.remove_receiver("r1")
+
+    def test_thread_executor_parity(self, setup):
+        config, rig, scene = setup
+        serial_node, _ = self.node(setup)
+        for name in ("r2", "r3"):
+            serial_node.add_receiver(name)
+        serial = drive_node(serial_node, rig, scene, config, frames=3)
+
+        threaded_node, _ = self.node(setup)
+        for name in ("r2", "r3"):
+            threaded_node.add_receiver(name)
+        executor = make_executor(4, "thread")
+        threaded_node.attach_executor(executor)
+        threaded = drive_node(threaded_node, rig, scene, config, frames=3)
+        executor.close()
+        assert decisions_signature(serial) == decisions_signature(threaded)
+
+    def test_stage_graph_integration(self, setup):
+        config, rig, scene = setup
+        node, _ = self.node(setup)
+        sender = LiVoSender(rig.cameras, config, node.device)
+        graph = StageGraph(node.stages())
+        poses = poses_for(["r0", "r1"])
+        for name, pose in poses.items():
+            node.observe_pose(name, pose, 0.0)
+        frame = rig.capture(scene, 0)
+        frustums = node.predicted_frustums(0, 0.1)
+        culled = cull_views_union(
+            frame, rig.cameras, list(frustums.values()), cache=node.cull_cache
+        )
+        uplink = sender.process(culled, 8e6, 0.1)
+        tick = graph.run_item(
+            SFUTick(frame=frame, uplink=uplink, now=0.0,
+                    target_rate_bps=8e6, horizon_s=0.1)
+        )
+        sender.close()
+        assert set(tick.decisions) == {"r0", "r1"}
+        assert graph.stage("sfu:ingest").timing.count == 1
+        assert graph.stage("sfu:forward").timing.count == 1
+
+    def test_metrics_exported(self, setup):
+        config, rig, scene = setup
+        node, _ = self.node(setup, downlinks=True)
+        drive_node(node, rig, scene, config, frames=2)
+        registry = MetricsRegistry()
+        node.metrics_into(registry)
+        names = registry.names()
+        assert "sfu.frames_ingested" in names
+        assert "sfu.uplink_bytes" in names
+        assert "sfu.forwarded_bytes" in names
+        assert "sfu.rx.r0.bytes" in names
+        assert registry.get("sfu.frames_ingested").value == 2
+        assert registry.get("sfu.receivers").value == 2.0
+
+    def test_tracer_spans_per_receiver(self, setup):
+        from repro.obs.tracer import Tracer
+
+        config, rig, scene = setup
+        node, _ = self.node(setup)
+        tracer = Tracer()
+        node.attach_tracer(tracer)
+        drive_node(node, rig, scene, config, frames=1)
+        names = {span.name for span in tracer.spans()}
+        assert "sfu:forward:r0" in names
+        assert "sfu:forward:r1" in names
+
+
+# ----------------------------------------------------------------------
+# Fleet harness
+# ----------------------------------------------------------------------
+
+
+class TestFleet:
+    def test_tiny_fleet_runs_and_saves_uplink(self):
+        from repro.sfu import FleetConfig, run_fleet
+
+        fleet = FleetConfig(
+            sessions=3, frames=6, receivers=2, churn_every=3,
+            sample_budget=1500, unicast_control=1,
+        )
+        result = run_fleet(fleet)
+        assert result.session_frames == 18
+        assert result.churn_events > 0
+        assert result.sfu_uplink_bytes_per_frame <= result.unicast_uplink_bytes_per_frame
+        assert result.latency_ms_p99 >= result.latency_ms_p50
+        payload = result.to_dict()
+        assert payload["sessions"] == 3
+        assert "sfu.frames_ingested" in payload["sfu_metrics"]
+
+    def test_fleet_byte_deterministic(self):
+        from repro.sfu import FleetConfig, run_fleet
+
+        fleet = FleetConfig(
+            sessions=2, frames=5, receivers=2, churn_every=2,
+            sample_budget=1500, unicast_control=1,
+        )
+        first = run_fleet(fleet)
+        second = run_fleet(fleet)
+        assert first.sfu_uplink_bytes_per_frame == second.sfu_uplink_bytes_per_frame
+        assert first.sfu_downlink_bytes_per_frame == second.sfu_downlink_bytes_per_frame
+        assert first.churn_events == second.churn_events
+
+    def test_invalid_config_rejected(self):
+        from repro.sfu import FleetConfig
+
+        with pytest.raises(ValueError):
+            FleetConfig(sessions=0)
+        with pytest.raises(ValueError):
+            FleetConfig(churn_every=0)
