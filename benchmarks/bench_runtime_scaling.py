@@ -1,59 +1,279 @@
-"""Runtime scaling: session throughput at jobs = 1/2/4/8.
+"""Runtime scaling and critical-path fast-path benchmark.
 
-Measures the default LiVo session end-to-end at each worker count and
-writes ``BENCH_runtime.json`` at the repo root with two result sets:
+Measures the default LiVo session end-to-end and writes
+``BENCH_runtime.json`` at the repo root with four result sets:
 
-- **measured**: wall-clock throughput of the full session at each
+- **fastpath**: legacy path (``--no-batch-kernels --no-shm``) versus the
+  default fast path (batched kernels + shared-memory executor lane) at
+  each ``jobs`` setting, interleaved min-of-N wall clocks.  Reports are
+  asserted byte-identical between the two paths before any speedup is
+  reported -- a fast path that diverges is a bug, not a win.
+- **quality_batch**: the quality-scoring kernel on the fan-out shaped
+  workload (many distorted clouds scored against one shared reference,
+  as in the multiway/SFU tick and ``bench_ablation_multiway``), loop
+  path versus one :func:`~repro.metrics.pointssim.pointssim_batch`
+  pass.  The batch dedups the shared reference's KD-tree/feature build,
+  which is where the >=1.5x quality-stage win comes from.
+- **measured** scaling: wall-clock throughput of the fast path at each
   ``jobs`` setting on *this* host.  On a single-core container the
   parallel settings cannot beat serial -- every worker shares one CPU
   -- so these numbers mostly show the executor's overhead is small.
-- **modeled**: hardware-normalized pipelined throughput from
+- **modeled** scaling: hardware-normalized pipelined throughput from
   :meth:`repro.core.pipeline.StagedPipeline.from_measured`, calibrated
-  on the *measured* per-stage service times of the serial run.  The
-  model divides each stage's service time by the fan-out the executor
-  applies at that ``jobs`` setting (per-camera capture splats, the
-  color/depth encoder pair, quality scoring) and takes the resulting
-  bottleneck -- the throughput the same session reaches on a host with
-  at least ``jobs`` free cores (appendix A.1's stage-per-thread
-  model).
+  on the *measured* per-stage service times of the serial run
+  (appendix A.1's stage-per-thread model).
+
+The full run also exports span JSONL traces of a legacy and a fast
+session and commits their :mod:`repro.analysis.tracetools` diff under
+``benchmarks/results/`` -- the speedup claim stays traceable to the
+stages that produced it (``python -m repro analyze-trace A.jsonl
+B.jsonl`` reproduces the diff).
 
 ``cpu_count`` is recorded so readers can tell which column is
-meaningful on the machine that produced the file.  EXPERIMENTS.md
-documents the methodology.
+meaningful on the machine that produced the file; wall clocks on shared
+containers drift +-20% run to run, hence interleaved repeats and min
+estimators throughout.  EXPERIMENTS.md documents the methodology.
+
+``--smoke`` runs a small configuration and enforces the CI gates:
+batched PointSSIM must not be slower than the per-pair loop, the jobs=2
+fast path must not fall below the legacy path, reports must stay
+byte-identical, and the shared-memory arena must not leak segments
+(counter *and* a ``/dev/shm`` scan).
 """
 
+import argparse
 import json
 import multiprocessing
 import sys
 import time
 from pathlib import Path
 
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.analysis.tracetools import diff_jsonl, format_diff
 from repro.capture.dataset import load_video
+from repro.capture.rig import default_rig
 from repro.core.config import SessionConfig
 from repro.core.pipeline import StagedPipeline
 from repro.core.session import LiVoSession
 from repro.core.stats import SessionReport
+from repro.geometry.pointcloud import PointCloud
+from repro.metrics.pointssim import (
+    pointssim,
+    pointssim_batch,
+    stratified_subsample,
+)
+from repro.obs.export import write_spans_jsonl
 from repro.prediction.pose import user_traces_for_video
+from repro.runtime.shm import SHM_NAME_PREFIX
 from repro.runtime.stage import StageTiming
 from repro.transport.traces import trace_1
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
 NUM_FRAMES = 24
 JOB_COUNTS = (1, 2, 4, 8)
+FASTPATH_JOBS = (1, 2, 4)
+REPEATS = 3
+QUALITY_RECEIVERS = 6
+QUALITY_TRUTH_POINTS = 15_000
 
 
-def _run_session(jobs: int, scene, user) -> tuple[float, SessionReport]:
-    config = SessionConfig(
-        quality_every=3,
+def _config(
+    jobs: int, fast: bool, trace: bool = False, quality_every: int = 3
+) -> SessionConfig:
+    return SessionConfig(
+        quality_every=quality_every,
         jobs=jobs,
         executor="serial" if jobs == 1 else "process",
+        batch_kernels=fast,
+        shm=fast,
+        trace=trace,
     )
-    session = LiVoSession(config)
+
+
+def _run_session(
+    scene,
+    user,
+    jobs: int,
+    fast: bool,
+    frames: int,
+    trace: bool = False,
+    quality_every: int = 3,
+) -> tuple[float, SessionReport]:
+    session = LiVoSession(_config(jobs, fast, trace=trace, quality_every=quality_every))
     start = time.perf_counter()
     report = session.run(
-        scene, user, trace_1(duration_s=10), NUM_FRAMES, video_name="band2"
+        scene, user, trace_1(duration_s=10), frames, video_name="band2"
     )
     return time.perf_counter() - start, report
+
+
+def _report_key(report: SessionReport) -> str:
+    return json.dumps(report.asdict(), sort_keys=True)
+
+
+def _stage_total(report: SessionReport, stage: str) -> float:
+    timing = (report.stage_timings or {}).get(stage)
+    return timing.total_s if timing is not None else 0.0
+
+
+def _measure_fastpath(
+    scene, user, frames: int, jobs_list, repeats: int, quality_every: int = 3
+) -> dict:
+    """Legacy vs fast walls per jobs count, drift-robust.
+
+    The container's clock drifts monotonically within a sweep, so each
+    repeat runs the two configs back to back (alternating which goes
+    first) and contributes one *paired* legacy/fast ratio -- adjacent
+    runs share the drift, so it cancels; the reported speedup is the
+    median of the paired ratios.  Raises if the two paths' reports are
+    not byte-identical -- the speedup of a diverging fast path is
+    meaningless.
+    """
+    out = {}
+    for jobs in jobs_list:
+        walls = {False: [], True: []}
+        quality = {False: [], True: []}
+        keys = {False: set(), True: set()}
+        reports = {}
+        for repeat in range(repeats):
+            order = (False, True) if repeat % 2 == 0 else (True, False)
+            for fast in order:
+                wall, report = _run_session(
+                    scene, user, jobs, fast, frames, quality_every=quality_every
+                )
+                walls[fast].append(wall)
+                quality[fast].append(_stage_total(report, "quality"))
+                keys[fast].add(_report_key(report))
+                reports[fast] = report
+        for fast in (False, True):
+            if len(keys[fast]) != 1:
+                raise AssertionError(
+                    f"jobs={jobs} fast={fast}: report not deterministic "
+                    f"across repeats"
+                )
+        if keys[False] != keys[True]:
+            raise AssertionError(
+                f"jobs={jobs}: fast path report diverges from legacy path"
+            )
+        ratios = sorted(
+            legacy / fast_wall
+            for legacy, fast_wall in zip(walls[False], walls[True])
+        )
+        speedup = float(np.median(ratios))
+        legacy_quality = min(quality[False])
+        fast_quality = min(quality[True])
+        out[str(jobs)] = {
+            "legacy_wall_s": round(min(walls[False]), 3),
+            "fast_wall_s": round(min(walls[True]), 3),
+            "paired_ratios": [round(r, 3) for r in ratios],
+            "speedup": round(speedup, 3),
+            "legacy_quality_stage_s": round(legacy_quality, 3),
+            "fast_quality_stage_s": round(fast_quality, 3),
+            "quality_stage_speedup": round(
+                legacy_quality / max(fast_quality, 1e-9), 3
+            ),
+            "reports_byte_identical": True,
+            "fast_report": reports[True],
+        }
+    return out
+
+
+def _quality_workload(
+    scene, receivers: int, truth_points: int
+) -> tuple[PointCloud, list[PointCloud]]:
+    """A fan-out shaped quality workload: one shared reference cloud and
+    ``receivers`` deterministic distortions of it (jitter + subsample),
+    the shape of the multiway/SFU tick where every receiver's content is
+    scored against the same captured truth."""
+    rig = default_rig(num_cameras=6, width=128, height=96)
+    frame = rig.capture(scene, 0)
+    merged = PointCloud.merge(
+        [
+            camera.unproject(view.depth_mm, view.color)
+            for camera, view in zip(rig.cameras, frame.views)
+        ]
+    )
+    truth = stratified_subsample(merged, truth_points, seed=0)
+    distorted = []
+    for index in range(receivers):
+        rng = np.random.default_rng(1000 + index)
+        jitter = rng.normal(0.0, 0.002, size=truth.positions.shape)
+        noisy = PointCloud(truth.positions + jitter, truth.colors)
+        distorted.append(
+            stratified_subsample(noisy, int(truth_points * 0.8), seed=index)
+        )
+    return truth, distorted
+
+
+def _measure_quality_batch(scene, receivers: int, truth_points: int, repeats: int) -> dict:
+    """Loop-path vs batched PointSSIM on the shared-reference workload."""
+    truth, distorted = _quality_workload(scene, receivers, truth_points)
+    pairs = [(truth, cloud) for cloud in distorted]
+
+    loop_walls, batch_walls = [], []
+    loop_scores = batch_scores = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        loop_scores = [pointssim(reference, cloud) for reference, cloud in pairs]
+        loop_walls.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        batch_scores = pointssim_batch(pairs)
+        batch_walls.append(time.perf_counter() - start)
+    if loop_scores != batch_scores:
+        raise AssertionError("pointssim_batch diverges from the per-pair loop")
+    loop_wall = min(loop_walls)
+    batch_wall = min(batch_walls)
+    return {
+        "receivers": receivers,
+        "reference_points": truth.num_points,
+        "loop_ms": round(loop_wall * 1e3, 2),
+        "batch_ms": round(batch_wall * 1e3, 2),
+        "speedup": round(loop_wall / batch_wall, 3),
+        # The loop builds the shared reference's KD-tree/features once
+        # per pair; the batch builds each distinct cloud exactly once.
+        "feature_builds_loop": 2 * receivers,
+        "feature_builds_batch": receivers + 1,
+        "scores_identical": True,
+    }
+
+
+def _export_traces(scene, user, frames: int, results_dir: Path) -> dict:
+    """Trace a legacy and a fast session at jobs=2, commit the span
+    JSONLs plus their tracetools diff, and return the diff summary."""
+    results_dir.mkdir(parents=True, exist_ok=True)
+    before = results_dir / "trace_legacy_jobs2.jsonl"
+    after = results_dir / "trace_fast_jobs2.jsonl"
+    # Best-of-N per config: wall-clock traces on a noisy host, so keep
+    # the fastest run of each path (same estimator as the walls above).
+    # Alternating the run order each round keeps the host's monotonic
+    # drift from systematically landing on one config.
+    best = {False: None, True: None}
+    for round_index in range(3):
+        order = (False, True) if round_index % 2 == 0 else (True, False)
+        for fast in order:
+            wall, report = _run_session(
+                scene, user, 2, fast, frames, trace=True
+            )
+            if best[fast] is None or wall < best[fast][0]:
+                best[fast] = (wall, report)
+    write_spans_jsonl(best[False][1].trace.spans(), before)
+    write_spans_jsonl(best[True][1].trace.spans(), after)
+    # 10% tolerance: stage walls on this host jitter well beyond the
+    # analyzer's 5% default, and the diff should name real movement.
+    diff = diff_jsonl(before, after, rel_tolerance=0.10)
+    text = format_diff(diff)
+    (results_dir / "trace_fastpath_diff.txt").write_text(text + "\n")
+    print(f"\n[runtime_scaling] trace diff (legacy -> fast, jobs=2):\n{text}")
+    return {
+        "before": before.name,
+        "after": after.name,
+        "speedup": round(diff.speedup, 3),
+        "improved": [d.name for d in diff.improved],
+        "regressed": [d.name for d in diff.regressed],
+    }
 
 
 def _amortized_timings(report: SessionReport) -> dict[str, StageTiming]:
@@ -75,14 +295,21 @@ def _fanout(jobs: int, num_cameras: int) -> dict[str, int]:
     }
 
 
-def run_bench() -> dict:
+def run_bench(results_dir: Path | None = None) -> dict:
     """Run the scaling sweep and return the result document."""
     config = SessionConfig()
     _, scene = load_video("band2", sample_budget=config.scene_sample_budget)
     user = user_traces_for_video("band2", NUM_FRAMES + 10)[0]
 
-    serial_wall, serial_report = _run_session(1, scene, user)
+    fastpath = _measure_fastpath(scene, user, NUM_FRAMES, FASTPATH_JOBS, REPEATS)
+    serial_report = fastpath["1"].pop("fast_report")
+    serial_wall = fastpath["1"]["fast_wall_s"]
     serial_fps = NUM_FRAMES / serial_wall
+
+    quality_batch = _measure_quality_batch(
+        scene, QUALITY_RECEIVERS, QUALITY_TRUTH_POINTS, REPEATS
+    )
+
     amortized = _amortized_timings(serial_report)
     serial_model = StagedPipeline.from_measured(amortized)
     # Serial execution does not pipeline: one frame traverses every
@@ -92,10 +319,11 @@ def run_bench() -> dict:
 
     results = {}
     for jobs in JOB_COUNTS:
-        if jobs == 1:
-            wall, report = serial_wall, serial_report
+        if str(jobs) in fastpath:
+            wall = fastpath[str(jobs)]["fast_wall_s"]
+            fastpath[str(jobs)].pop("fast_report", None)
         else:
-            wall, report = _run_session(jobs, scene, user)
+            wall, _ = _run_session(scene, user, jobs, True, NUM_FRAMES)
         measured_fps = NUM_FRAMES / wall
         pipeline = StagedPipeline.from_measured(
             amortized, parallelism=_fanout(jobs, config.num_cameras)
@@ -116,10 +344,15 @@ def run_bench() -> dict:
             "stage_fanout": _fanout(jobs, config.num_cameras),
         }
 
+    trace_diff = None
+    if results_dir is not None:
+        trace_diff = _export_traces(scene, user, NUM_FRAMES, results_dir)
+
     document = {
         "bench": "runtime_scaling",
         "cpu_count": multiprocessing.cpu_count(),
         "frames": NUM_FRAMES,
+        "repeats": REPEATS,
         "session": {
             "num_cameras": config.num_cameras,
             "resolution": [config.camera_width, config.camera_height],
@@ -129,20 +362,34 @@ def run_bench() -> dict:
             name: round(t.mean_s * 1e3, 3)
             for name, t in serial_report.stage_timings.items()
         },
+        # Legacy (--no-batch-kernels --no-shm) vs default fast path,
+        # byte-identical reports asserted, interleaved min-of-N walls.
+        "fastpath": fastpath,
+        # Batched one-pass PointSSIM vs the per-pair loop on the
+        # shared-reference fan-out workload (multiway/SFU tick shape).
+        "quality_batch": quality_batch,
         "jobs": results,
         # Headline numbers: hardware-normalized pipelined throughput.
         # On hosts with >= 4 free cores the measured column converges to
         # these; on this host cpu_count bounds the measured speedup.
         "throughput_fps": {j: r["modeled_fps"] for j, r in results.items()},
         "speedup": {j: r["modeled_speedup_vs_serial"] for j, r in results.items()},
+        "trace_diff": trace_diff,
         "methodology": (
-            "measured_* are end-to-end wall-clock numbers on this host; "
+            "measured_* are end-to-end wall-clock numbers on this host "
+            "(interleaved min-of-N: the container's clock drifts +-20% "
+            "run to run); fastpath compares the legacy path "
+            "(--no-batch-kernels --no-shm) against the default batched+shm "
+            "path at equal jobs with byte-identical reports asserted; "
+            "quality_batch measures the batched one-pass PointSSIM against "
+            "the per-pair loop on the shared-reference fan-out workload "
+            "where the batch dedups the reference's feature build; "
             "modeled_* are pipelined throughput from "
             "StagedPipeline.from_measured calibrated on the serial run's "
             "instrumented stage timings, with per-stage fan-out matching "
             "what the executor actually parallelizes. With cpu_count=1 "
-            "the measured columns cannot exceed 1x; the modeled columns "
-            "are the hardware-normalized projection."
+            "the measured speedup columns cannot exceed 1x; the modeled "
+            "columns are the hardware-normalized projection."
         ),
     }
     return document
@@ -155,18 +402,135 @@ def write_results(document: dict) -> Path:
 
 
 def test_runtime_scaling(results_dir):
-    document = run_bench()
+    document = run_bench(results_dir=Path(results_dir))
     path = write_results(document)
     (results_dir / "runtime_scaling.json").write_text(
         json.dumps(document, indent=2) + "\n"
     )
     speedup4 = document["jobs"]["4"]["modeled_speedup_vs_serial"]
-    print(f"\n[runtime_scaling] modeled speedup at jobs=4: {speedup4:.2f}x -> {path}")
+    batch_speedup = document["quality_batch"]["speedup"]
+    fast4 = document["fastpath"]["4"]["speedup"]
+    quality_stage2 = document["fastpath"]["2"]["quality_stage_speedup"]
+    print(
+        f"\n[runtime_scaling] modeled jobs=4 speedup: {speedup4:.2f}x, "
+        f"fastpath jobs=4: {fast4:.2f}x, quality stage jobs=2: "
+        f"{quality_stage2:.2f}x, quality batch: {batch_speedup:.2f}x -> {path}"
+    )
     assert speedup4 >= 1.5
+    # The measured quality-stage win: shipping the decoded pair moves
+    # reconstruct + render prep into the workers, so the parent's
+    # quality stage collapses to dispatch (~8x here, 1.5x the floor).
+    assert quality_stage2 >= 1.5
+    # Batching dedups the shared reference's KD/feature build on the
+    # fan-out workload; the R=6 ceiling is 2R/(R+1) = 1.71x and the
+    # measured value sits ~1.5x, so gate at 1.3x to absorb host drift.
+    assert batch_speedup >= 1.3
+    # The fast path must never lose to the legacy path it replaces;
+    # paired-ratio medians still carry a few percent of host noise.
+    assert fast4 >= 0.9
 
 
-if __name__ == "__main__":
-    doc = run_bench()
+# ----------------------------------------------------------------------
+# CI smoke gates (`python benchmarks/bench_runtime_scaling.py --smoke`)
+# ----------------------------------------------------------------------
+
+SMOKE_FRAMES = 8
+SMOKE_REPEATS = 4
+SMOKE_RECEIVERS = 3
+SMOKE_TRUTH_POINTS = 4000
+# The jobs=2 gate nominally requires speedup >= 1.0; paired-run ratios
+# on shared CI boxes carry a ~5% noise floor (measured: adjacent
+# identical runs differ up to that much), so the tripwire fires below
+# 1.0 minus that floor -- a real fast-path regression lands well under
+# it, while honest noise does not.
+SMOKE_JOBS2_NOISE_FLOOR = 0.05
+
+
+def _smoke_shm_leak(scene, user) -> tuple[int, list[str]]:
+    """One fast jobs=2 session; returns (leaked counter, /dev/shm delta)."""
+    shm_dir = Path("/dev/shm")
+
+    def ours() -> set:
+        if not shm_dir.is_dir():
+            return set()
+        return {p.name for p in shm_dir.iterdir() if p.name.startswith(SHM_NAME_PREFIX)}
+
+    before = ours()
+    _, report = _run_session(scene, user, 2, True, SMOKE_FRAMES)
+    metrics = report.metrics
+    leaked = metrics.counter("shm.segments_leaked").value if metrics else 0
+    created = metrics.counter("shm.segments_created").value if metrics else 0
+    if created == 0:
+        raise AssertionError("smoke session never used the shm lane")
+    return leaked, sorted(ours() - before)
+
+
+def run_smoke() -> int:
+    config = SessionConfig()
+    _, scene = load_video("band2", sample_budget=config.scene_sample_budget)
+    user = user_traces_for_video("band2", SMOKE_FRAMES + 10)[0]
+    failures = []
+
+    quality = _measure_quality_batch(
+        scene, SMOKE_RECEIVERS, SMOKE_TRUTH_POINTS, SMOKE_REPEATS
+    )
+    print(
+        f"[smoke] batched PSSIM vs loop: {quality['speedup']:.2f}x "
+        f"({quality['loop_ms']:.1f} ms -> {quality['batch_ms']:.1f} ms)"
+    )
+    if quality["speedup"] < 1.0:
+        failures.append(
+            f"batched PointSSIM slower than the loop path "
+            f"({quality['speedup']:.2f}x)"
+        )
+
+    # quality_every=1: every frame ships a quality payload, so the run
+    # exercises the zero-copy lane (and the legacy pickles it replaces)
+    # as hard as the session can.
+    fastpath = _measure_fastpath(
+        scene, user, SMOKE_FRAMES, (2,), SMOKE_REPEATS, quality_every=1
+    )
+    fastpath["2"].pop("fast_report", None)
+    speedup2 = fastpath["2"]["speedup"]
+    print(
+        f"[smoke] jobs=2 fastpath speedup: {speedup2:.2f}x "
+        f"(legacy {fastpath['2']['legacy_wall_s']:.2f} s -> "
+        f"fast {fastpath['2']['fast_wall_s']:.2f} s, paired ratios "
+        f"{fastpath['2']['paired_ratios']}, reports byte-identical)"
+    )
+    if speedup2 < 1.0 - SMOKE_JOBS2_NOISE_FLOOR:
+        failures.append(f"jobs=2 measured speedup below 1.0x ({speedup2:.2f}x)")
+
+    leaked, residue = _smoke_shm_leak(scene, user)
+    print(f"[smoke] shm leak check: leaked={leaked} residue={residue}")
+    if leaked:
+        failures.append(f"shm arena reported {leaked} leaked segment(s)")
+    if residue:
+        failures.append(f"shm segments left in /dev/shm: {residue}")
+
+    if failures:
+        for failure in failures:
+            print(f"[smoke] FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("[smoke] runtime scaling smoke passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small run enforcing the CI gates (batch PSSIM, jobs=2, shm leaks)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        return run_smoke()
+    doc = run_bench(results_dir=REPO_ROOT / "benchmarks" / "results")
     path = write_results(doc)
     print(json.dumps(doc, indent=2))
     print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,262 @@
+"""Trace-driven critical-path analysis and before/after diffing.
+
+Consumes the span JSONL exports produced by :mod:`repro.obs.export`
+(``python -m repro run --trace-jsonl out.jsonl``) and answers the two
+questions a performance change raises:
+
+- *where does the time go?* -- :func:`critical_path` reconstructs the
+  per-frame critical path from the wall-clock stage spans (stages run
+  sequentially within a frame, so the path is the ordered stage chain
+  and its length the sum of stage durations), then aggregates per
+  stage across frames;
+- *what did a change do?* -- :func:`diff_critical_paths` lines up two
+  reconstructions (before/after) and names the stages that regressed
+  or improved, by how much, and how the end-to-end critical path
+  moved.
+
+The CLI front end is ``python -m repro analyze-trace A.jsonl B.jsonl``
+(one file prints the path; two diff them); benchmarks commit these
+diffs next to their numbers so a speedup claim is traceable to the
+stages that produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.export import read_spans_jsonl
+from repro.obs.span import CLOCK_WALL, Span
+
+__all__ = [
+    "StageStat",
+    "CriticalPath",
+    "StageDelta",
+    "CriticalPathDiff",
+    "critical_path",
+    "critical_path_from_jsonl",
+    "diff_critical_paths",
+    "diff_jsonl",
+    "format_critical_path",
+    "format_diff",
+]
+
+# Wall-clock span categories that constitute executed pipeline work.
+DEFAULT_CATEGORIES = ("stage",)
+
+# A stage moving less than this (relative) is reported as unchanged:
+# wall-clock spans jitter, and a diff full of ±2% noise buries the
+# signal the tool exists to surface.
+DEFAULT_REL_TOLERANCE = 0.05
+
+
+@dataclass
+class StageStat:
+    """Aggregate wall-clock time of one stage across all frames."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def add(self, duration_s: float) -> None:
+        self.count += 1
+        self.total_s += duration_s
+        self.max_s = max(self.max_s, duration_s)
+
+
+@dataclass
+class CriticalPath:
+    """Per-stage aggregation of a trace's frame critical paths."""
+
+    stages: dict[str, StageStat] = field(default_factory=dict)
+    frames: int = 0
+    # Sum over frames of that frame's critical-path length.
+    total_s: float = 0.0
+
+    def ordered(self) -> list[StageStat]:
+        """Stages, heaviest first."""
+        return sorted(self.stages.values(), key=lambda s: -s.total_s)
+
+
+def critical_path(
+    spans: list[Span], categories: tuple = DEFAULT_CATEGORIES
+) -> CriticalPath:
+    """Reconstruct the per-stage critical path from a span list.
+
+    Only closed wall-clock spans of the given categories participate:
+    sim-clock spans (frame roots, transport, playout) describe the
+    simulated session, not executed work.  Stages within one frame run
+    sequentially in the runtime, so a frame's critical-path length is
+    the sum of its stage durations; the aggregate keys stages by name
+    across frames.
+    """
+    path = CriticalPath()
+    frames: set = set()
+    for span in spans:
+        if span.clock != CLOCK_WALL or span.category not in categories:
+            continue
+        if span.open or span.instant:
+            continue
+        stat = path.stages.get(span.name)
+        if stat is None:
+            stat = path.stages[span.name] = StageStat(span.name)
+        stat.add(span.duration_s)
+        path.total_s += span.duration_s
+        frames.add(span.trace_id)
+    path.frames = len(frames)
+    return path
+
+
+def critical_path_from_jsonl(
+    path, categories: tuple = DEFAULT_CATEGORIES
+) -> CriticalPath:
+    """Load a span JSONL export and reconstruct its critical path."""
+    return critical_path(read_spans_jsonl(path), categories=categories)
+
+
+@dataclass
+class StageDelta:
+    """One stage's before/after movement."""
+
+    name: str
+    before_s: float
+    after_s: float
+    before_count: int
+    after_count: int
+    verdict: str  # "regressed" | "improved" | "unchanged" | "added" | "removed"
+
+    @property
+    def delta_s(self) -> float:
+        return self.after_s - self.before_s
+
+    @property
+    def ratio(self) -> float:
+        """after / before (inf for added stages)."""
+        if self.before_s <= 0.0:
+            return float("inf") if self.after_s > 0.0 else 1.0
+        return self.after_s / self.before_s
+
+
+@dataclass
+class CriticalPathDiff:
+    """A full before/after critical-path comparison."""
+
+    before: CriticalPath
+    after: CriticalPath
+    deltas: list[StageDelta]
+
+    @property
+    def regressed(self) -> list[StageDelta]:
+        return [d for d in self.deltas if d.verdict in ("regressed", "added")]
+
+    @property
+    def improved(self) -> list[StageDelta]:
+        return [d for d in self.deltas if d.verdict in ("improved", "removed")]
+
+    @property
+    def speedup(self) -> float:
+        """End-to-end critical-path speedup (before / after)."""
+        if self.after.total_s <= 0.0:
+            return float("inf") if self.before.total_s > 0.0 else 1.0
+        return self.before.total_s / self.after.total_s
+
+
+def diff_critical_paths(
+    before: CriticalPath,
+    after: CriticalPath,
+    rel_tolerance: float = DEFAULT_REL_TOLERANCE,
+) -> CriticalPathDiff:
+    """Line up two critical paths and classify every stage's movement.
+
+    A stage regresses/improves when its total moves by more than
+    ``rel_tolerance`` of the *before* total (stages only present on one
+    side are "added"/"removed").  Deltas are sorted by absolute time
+    moved, so the first entries are the stages that matter.
+    """
+    names = list(
+        dict.fromkeys(list(before.stages) + list(after.stages))
+    )  # insertion-ordered union
+    deltas = []
+    for name in names:
+        b = before.stages.get(name)
+        a = after.stages.get(name)
+        before_s = b.total_s if b else 0.0
+        after_s = a.total_s if a else 0.0
+        if b is None:
+            verdict = "added"
+        elif a is None:
+            verdict = "removed"
+        else:
+            threshold = rel_tolerance * max(before_s, 1e-12)
+            if after_s > before_s + threshold:
+                verdict = "regressed"
+            elif after_s < before_s - threshold:
+                verdict = "improved"
+            else:
+                verdict = "unchanged"
+        deltas.append(
+            StageDelta(
+                name=name,
+                before_s=before_s,
+                after_s=after_s,
+                before_count=b.count if b else 0,
+                after_count=a.count if a else 0,
+                verdict=verdict,
+            )
+        )
+    deltas.sort(key=lambda d: -abs(d.delta_s))
+    return CriticalPathDiff(before=before, after=after, deltas=deltas)
+
+
+def diff_jsonl(
+    before_path,
+    after_path,
+    categories: tuple = DEFAULT_CATEGORIES,
+    rel_tolerance: float = DEFAULT_REL_TOLERANCE,
+) -> CriticalPathDiff:
+    """Load two span JSONL exports and diff their critical paths."""
+    return diff_critical_paths(
+        critical_path_from_jsonl(before_path, categories=categories),
+        critical_path_from_jsonl(after_path, categories=categories),
+        rel_tolerance=rel_tolerance,
+    )
+
+
+def format_critical_path(path: CriticalPath, title: str = "critical path") -> str:
+    """Human-readable per-stage breakdown, heaviest first."""
+    lines = [
+        f"{title}: {path.total_s * 1e3:.1f} ms over {path.frames} frames",
+        f"{'stage':16s} {'count':>6s} {'total ms':>10s} {'mean ms':>9s} {'max ms':>9s}",
+    ]
+    for stat in path.ordered():
+        lines.append(
+            f"{stat.name:16s} {stat.count:6d} {stat.total_s * 1e3:10.2f} "
+            f"{stat.mean_s * 1e3:9.3f} {stat.max_s * 1e3:9.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_diff(diff: CriticalPathDiff) -> str:
+    """Human-readable before/after stage diff, biggest movers first."""
+    lines = [
+        f"critical path: {diff.before.total_s * 1e3:.1f} ms -> "
+        f"{diff.after.total_s * 1e3:.1f} ms "
+        f"(speedup {diff.speedup:.2f}x)",
+        f"{'stage':16s} {'verdict':>10s} {'before ms':>10s} {'after ms':>10s} "
+        f"{'delta ms':>9s} {'ratio':>7s}",
+    ]
+    for delta in diff.deltas:
+        ratio = f"{delta.ratio:.2f}x" if delta.ratio != float("inf") else "new"
+        lines.append(
+            f"{delta.name:16s} {delta.verdict:>10s} {delta.before_s * 1e3:10.2f} "
+            f"{delta.after_s * 1e3:10.2f} {delta.delta_s * 1e3:9.2f} {ratio:>7s}"
+        )
+    regressed = ", ".join(d.name for d in diff.regressed) or "none"
+    improved = ", ".join(d.name for d in diff.improved) or "none"
+    lines.append(f"regressed: {regressed}")
+    lines.append(f"improved:  {improved}")
+    return "\n".join(lines)

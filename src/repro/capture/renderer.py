@@ -35,6 +35,7 @@ __all__ = [
     "render_rgbd",
     "render_views",
     "fill_holes",
+    "fill_holes_batch",
     "project_splats",
     "splat_image",
     "ProjectionCache",
@@ -100,6 +101,62 @@ def fill_holes(
     return (
         np.clip(np.rint(depth), 0, 65535).astype(np.uint16),
         np.clip(np.rint(color), 0, 255).astype(np.uint8),
+    )
+
+
+def fill_holes_batch(
+    depths: np.ndarray, colors: np.ndarray, iterations: int = 2, min_neighbors: int = 3
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`fill_holes` over a ``(N, H, W)`` stack of images at once.
+
+    Bit-identical to filling each image separately: the neighbor shifts
+    slide only along the spatial axes (each image keeps its own zero
+    border in the padded stack, so images never bleed into each other),
+    the eight accumulations run in the same fixed order per pixel, and
+    the early-exit checks merely become batch-global -- an image that
+    would have converged early sees extra no-op passes (its fill mask
+    is empty, so nothing is written).  One camera rig's worth of images
+    per call replaces N Python-level passes with one.
+    """
+    depths = depths.astype(np.float64)
+    colors = colors.astype(np.float64)
+    count, height, width = depths.shape
+
+    neighbor_count = np.empty((count, height, width))
+    depth_sum = np.empty((count, height, width))
+    color_sum = np.empty(colors.shape)
+    padded_depth = np.zeros((count, height + 2, width + 2))
+    padded_color = np.zeros((count, height + 2, width + 2, colors.shape[3]))
+    padded_valid = np.zeros((count, height + 2, width + 2), dtype=bool)
+
+    for _ in range(iterations):
+        valid = depths > 0
+        if valid.all():
+            break
+        neighbor_count.fill(0.0)
+        depth_sum.fill(0.0)
+        color_sum.fill(0.0)
+        padded_depth[:, 1:-1, 1:-1] = depths
+        padded_color[:, 1:-1, 1:-1] = colors
+        padded_valid[:, 1:-1, 1:-1] = valid
+        for dy, dx in _NEIGHBOR_SHIFTS:
+            window = (
+                slice(None),
+                slice(1 + dy, 1 + dy + height),
+                slice(1 + dx, 1 + dx + width),
+            )
+            neighbor_valid = padded_valid[window]
+            neighbor_count += neighbor_valid
+            depth_sum += padded_depth[window] * neighbor_valid
+            color_sum += padded_color[window] * neighbor_valid[..., None]
+        fill = (~valid) & (neighbor_count >= min_neighbors)
+        if not fill.any():
+            break
+        depths[fill] = depth_sum[fill] / neighbor_count[fill]
+        colors[fill] = color_sum[fill] / neighbor_count[fill][:, None]
+    return (
+        np.clip(np.rint(depths), 0, 65535).astype(np.uint16),
+        np.clip(np.rint(colors), 0, 255).astype(np.uint8),
     )
 
 
@@ -325,15 +382,19 @@ class ProjectionCache:
         self._image = (z_image, rank_image, depth_image, color_image)
         return self._image
 
-    def render(
+    def render_arrays(
         self,
         batches: list[SampleBatch],
-        sequence: int = 0,
-        timestamp_s: float = 0.0,
         background_color: int = 0,
-        hole_fill_iterations: int = 2,
-    ) -> RGBDFrame:
-        """Render sample batches through this camera, reusing static splats."""
+    ) -> tuple[np.ndarray, np.ndarray, bool]:
+        """Z-buffered but *unfilled* ``(depth, color, needs_fill)`` arrays.
+
+        The raw render half of :meth:`render`: callers that batch the
+        hole filling across cameras (:func:`fill_holes_batch`) take the
+        arrays here and fill a whole rig's stack in one pass.
+        ``needs_fill`` mirrors the scalar path's skip condition (no
+        splats at all means nothing to fill).
+        """
         height = self.camera.intrinsics.height
         width = self.camera.intrinsics.width
         static_z, static_rank, static_depth, static_color = self._static_image(
@@ -372,7 +433,20 @@ class ProjectionCache:
 
         depth = depth.reshape(height, width)
         color = color.reshape(height, width, 3)
-        if hole_fill_iterations > 0 and (len(parts) or self._image_key[0]):
+        needs_fill = bool(len(parts) or self._image_key[0])
+        return depth, color, needs_fill
+
+    def render(
+        self,
+        batches: list[SampleBatch],
+        sequence: int = 0,
+        timestamp_s: float = 0.0,
+        background_color: int = 0,
+        hole_fill_iterations: int = 2,
+    ) -> RGBDFrame:
+        """Render sample batches through this camera, reusing static splats."""
+        depth, color, needs_fill = self.render_arrays(batches, background_color)
+        if hole_fill_iterations > 0 and needs_fill:
             depth, color = fill_holes(depth, color, iterations=hole_fill_iterations)
         return RGBDFrame(
             color,

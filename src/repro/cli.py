@@ -84,6 +84,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="stratified-subsample clouds above this size before PointSSIM "
         "(deterministic approximation; default: exact scoring)",
     )
+    run.add_argument(
+        "--no-batch-kernels", action="store_true",
+        help="disable the batched capture/unproject/PointSSIM kernels "
+        "(per-item reference paths); outputs are byte-identical either way",
+    )
+    run.add_argument(
+        "--no-shm", action="store_true",
+        help="disable the shared-memory zero-copy lane of the process "
+        "executor (payloads cross as pickles); outputs are byte-identical "
+        "either way",
+    )
+
+    analyze = sub.add_parser(
+        "analyze-trace",
+        help="reconstruct the per-stage critical path of a span JSONL "
+        "export; with two files, diff them (before after)",
+    )
+    analyze.add_argument(
+        "traces", nargs="+", metavar="TRACE_JSONL",
+        help="one trace prints its critical path; two diff them "
+        "(before, after)",
+    )
+    analyze.add_argument(
+        "--categories", default="stage",
+        help="comma-separated span categories to include (default: stage; "
+        "e.g. stage,kernel,worker)",
+    )
+    analyze.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="relative movement below this is reported unchanged",
+    )
 
     export = sub.add_parser(
         "export", help="dump one capture's frames and point cloud to files"
@@ -183,6 +214,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         kernel_cache=not args.no_kernel_cache,
         quality_max_points=args.quality_max_points,
         transport_fast_path=not args.no_transport_fast_path,
+        batch_kernels=not args.no_batch_kernels,
+        shm=not args.no_shm,
         trace=tracing,
     )
     if args.scheme in ("LiVo", "LiVo-NoCull", "LiVo-NoAdapt"):
@@ -221,6 +254,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"wrote span JSONL ({len(spans)} spans) to {args.trace_jsonl}")
         print()
         print(report.timeline_table(limit=10))
+    return 0
+
+
+def _cmd_analyze_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.tracetools import (
+        critical_path_from_jsonl,
+        diff_critical_paths,
+        format_critical_path,
+        format_diff,
+    )
+
+    if len(args.traces) > 2:
+        print("error: analyze-trace takes one or two trace files", file=sys.stderr)
+        return 2
+    categories = tuple(
+        part.strip() for part in args.categories.split(",") if part.strip()
+    )
+    paths = [
+        critical_path_from_jsonl(trace, categories=categories)
+        for trace in args.traces
+    ]
+    if len(paths) == 1:
+        print(format_critical_path(paths[0], title=str(args.traces[0])))
+        return 0
+    diff = diff_critical_paths(paths[0], paths[1], rel_tolerance=args.tolerance)
+    print(f"before: {args.traces[0]}")
+    print(f"after:  {args.traces[1]}")
+    print(format_diff(diff))
     return 0
 
 
@@ -329,6 +390,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_traces()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "analyze-trace":
+        return _cmd_analyze_trace(args)
     if args.command == "export":
         return _cmd_export(args)
     if args.command == "multiway":

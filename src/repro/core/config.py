@@ -103,6 +103,19 @@ class SessionConfig:
     # transport/render spans beneath it (``--trace`` exports them).
     trace: bool = False
 
+    # Batched kernels (repro.perf critical-path fast path; see
+    # DESIGN.md section 14).  ``batch_kernels`` routes hole filling,
+    # multi-camera unprojection, and PointSSIM scoring through
+    # structure-of-arrays passes that handle all cameras of a frame in
+    # one numpy call; ``shm`` moves capture batches and quality inputs
+    # across process boundaries as shared-memory handles instead of
+    # pickles (only meaningful with a process executor).  Both are on
+    # by default because every fast path is byte-identical to its
+    # scalar twin; ``--no-batch-kernels`` / ``--no-shm`` are the
+    # escape hatches (and the legacy baseline for benchmarks).
+    batch_kernels: bool = True
+    shm: bool = True
+
     # Batched transport fast path (repro.transport; see DESIGN.md
     # section 10).  Simulates each frame's packet burst as one
     # vectorized link event over the cumulative-capacity trace model.

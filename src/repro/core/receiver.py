@@ -17,7 +17,7 @@ from repro.codec.frame import EncodedFrame, FrameType
 from repro.codec.video import VideoCodecConfig, VideoDecoder
 from repro.core.config import SessionConfig
 from repro.depthcodec.scaling import unscale_depth
-from repro.geometry.camera import RGBDCamera
+from repro.geometry.camera import RGBDCamera, unproject_views
 from repro.geometry.frustum import Frustum
 from repro.geometry.pointcloud import PointCloud
 from repro.geometry.voxel import voxel_downsample
@@ -157,7 +157,17 @@ class LiVoReceiver:
         return self.last_good_pair
 
     def reconstruct(self, pair: DecodedPair) -> PointCloud:
-        """Unproject every camera tile and merge into one point cloud."""
+        """Unproject every camera tile and merge into one point cloud.
+
+        With ``config.batch_kernels`` the per-camera unprojections run
+        as one structure-of-arrays pass
+        (:func:`~repro.geometry.camera.unproject_views`), bit-identical
+        to the per-camera loop.
+        """
+        if self.config.batch_kernels:
+            return unproject_views(
+                self.cameras, pair.depth_tiles_mm, pair.color_tiles
+            )
         clouds = [
             camera.unproject(depth, color)
             for camera, depth, color in zip(

@@ -31,8 +31,10 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.capture.renderer import render_rgbd
-from repro.capture.rgbd import MultiViewFrame
+from repro.capture.rgbd import MultiViewFrame, RGBDFrame
 from repro.capture.rig import CaptureRig, default_rig
 from repro.capture.scene import Scene
 from repro.compression.draco import DracoCodec
@@ -46,19 +48,30 @@ from repro.faults.boundary import StageFaultBoundary
 from repro.faults.degradation import StallWatchdog, level_name
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
-from repro.geometry.camera import RGBDCamera
+from repro.geometry.camera import RGBDCamera, unproject_views
 from repro.geometry.frustum import Frustum
 from repro.geometry.pointcloud import PointCloud
 from repro.geometry.voxel import voxel_downsample
-from repro.metrics.pointssim import pointssim
+from repro.metrics.pointssim import pointssim, pointssim_batch
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.perf.capture import CachedFrameSource
 from repro.perf.features import FeatureCache
+from repro.perf.shmframes import (
+    ShmCloudHandle,
+    ShmFrameHandle,
+    ShmPairHandle,
+    load_cloud,
+    load_multiview,
+    load_pair,
+    share_multiview,
+    share_pair,
+)
 from repro.prediction.pose import PoseTrace
 from repro.prediction.predictor import ViewingDevice
 from repro.runtime.executors import Executor, make_executor
 from repro.runtime.profile import merge_timings
+from repro.runtime.shm import attach_array
 from repro.runtime.stage import Stage, StageGraph
 from repro.transport.channel import WebRTCChannel
 from repro.transport.gcc import GCCConfig
@@ -79,17 +92,29 @@ def ground_truth_cloud(
     cameras: list[RGBDCamera],
     actual_frustum: Frustum,
     render_voxel_m: float,
+    batched: bool = True,
 ) -> PointCloud:
     """What a perfect system would display for this frame and viewpoint.
 
     The original capture, fused, voxelized at render granularity, and
-    culled to the viewer's actual frustum.
+    culled to the viewer's actual frustum.  ``batched`` routes the
+    multi-camera fusion through :func:`~repro.geometry.camera.
+    unproject_views` (one structure-of-arrays pass, bit-identical to
+    the per-camera loop); ``False`` keeps the scalar reference path.
     """
-    clouds = [
-        camera.unproject(view.depth_mm, view.color)
-        for camera, view in zip(cameras, frame.views)
-    ]
-    merged = PointCloud.merge(clouds)
+    if batched:
+        pairs = list(zip(cameras, frame.views))
+        merged = unproject_views(
+            [camera for camera, _ in pairs],
+            [view.depth_mm for _, view in pairs],
+            [view.color for _, view in pairs],
+        )
+    else:
+        clouds = [
+            camera.unproject(view.depth_mm, view.color)
+            for camera, view in zip(cameras, frame.views)
+        ]
+        merged = PointCloud.merge(clouds)
     if merged.is_empty:
         return merged
     voxelized = voxel_downsample(merged, render_voxel_m)
@@ -117,6 +142,12 @@ _CAPTURE_CTX: dict = {}
 # cache; DESIGN.md section 9).
 _QUALITY_CTX: dict = {}
 
+# Zero-copy lane: quality jobs are parked and submitted in bursts at
+# idle/drain points so worker renders never compete with capture for
+# pool slots mid-tick.  The bound caps how many shared frame/pair
+# segments a burst can pin at once.
+_QUALITY_DEFER_MAX = 16
+
 
 def _capture_chunk(task: tuple) -> list:
     """Render a contiguous chunk of cameras for one capture tick.
@@ -128,20 +159,39 @@ def _capture_chunk(task: tuple) -> list:
     resampling and reprojecting the static batches -- each worker's
     inherited source warms its own projection caches, deterministically,
     so the fan-out stays byte-identical to the serial path.
+
+    A four-element task carries shared-memory refs
+    ``(depth_refs, color_refs)`` aligned with the camera indices: the
+    rendered arrays are written into the shared segment in place and
+    only the camera ids cross back over the pipe (the parent views the
+    same pages -- zero result pickling).
     """
-    camera_indices, sequence, timestamp_s = task
+    camera_indices, sequence, timestamp_s = task[0], task[1], task[2]
+    refs = task[3] if len(task) > 3 else None
     source = _CAPTURE_CTX.get("source")
     if source is not None:
-        return source.capture_views(list(camera_indices), sequence)
-    scene = _CAPTURE_CTX["scene"]
-    cameras = _CAPTURE_CTX["cameras"]
-    points, colors = scene.sample(timestamp_s)
-    return [
-        render_rgbd(
-            cameras[index], points, colors, sequence=sequence, timestamp_s=timestamp_s
-        )
-        for index in camera_indices
-    ]
+        views = source.capture_views(list(camera_indices), sequence)
+    else:
+        scene = _CAPTURE_CTX["scene"]
+        cameras = _CAPTURE_CTX["cameras"]
+        points, colors = scene.sample(timestamp_s)
+        views = [
+            render_rgbd(
+                cameras[index],
+                points,
+                colors,
+                sequence=sequence,
+                timestamp_s=timestamp_s,
+            )
+            for index in camera_indices
+        ]
+    if refs is None:
+        return views
+    depth_refs, color_refs = refs
+    for view, depth_ref, color_ref in zip(views, depth_refs, color_refs):
+        attach_array(depth_ref)[...] = view.depth_mm
+        attach_array(color_ref)[...] = view.color
+    return [view.camera_id for view in views]
 
 
 def _chunk_indices(count: int, chunks: int) -> list[list[int]]:
@@ -176,13 +226,87 @@ def _capture_frame(
             return source.capture(sequence)
         return rig.capture(scene, sequence)
     timestamp = sequence * rig.frame_interval_s
-    tasks = [
-        (chunk, sequence, timestamp)
-        for chunk in _chunk_indices(rig.num_cameras, executor.jobs)
-    ]
-    chunks = executor.map(_capture_chunk, tasks)
-    views = [view for chunk in chunks for view in chunk]
-    return MultiViewFrame(views, sequence=sequence, timestamp_s=timestamp)
+    chunk_lists = _chunk_indices(rig.num_cameras, executor.jobs)
+    arena = executor.arena
+    if arena is None:
+        tasks = [(chunk, sequence, timestamp) for chunk in chunk_lists]
+        chunks = executor.map(_capture_chunk, tasks)
+        views = [view for chunk in chunks for view in chunk]
+        return MultiViewFrame(views, sequence=sequence, timestamp_s=timestamp)
+    # Zero-copy lane: preallocate one shared segment per chunk (depth +
+    # color for every camera in it); workers render straight into the
+    # shared pages and return only camera ids.  The frame's views alias
+    # the segments, so ``shm_refs`` (one release token per segment) is
+    # attached for the caller to release once the frame is pruned.
+    tasks = []
+    group_refs = []
+    for chunk in chunk_lists:
+        shapes = [
+            ((rig.cameras[index].intrinsics.height, rig.cameras[index].intrinsics.width), np.uint16)
+            for index in chunk
+        ] + [
+            ((rig.cameras[index].intrinsics.height, rig.cameras[index].intrinsics.width, 3), np.uint8)
+            for index in chunk
+        ]
+        refs, _ = arena.allocate(shapes)
+        depth_refs = tuple(refs[: len(chunk)])
+        color_refs = tuple(refs[len(chunk) :])
+        tasks.append((chunk, sequence, timestamp, (depth_refs, color_refs)))
+        group_refs.append(refs[0])
+    metas = executor.map(_capture_chunk, tasks)
+    views = []
+    view_refs = []
+    for task, camera_ids in zip(tasks, metas):
+        depth_refs, color_refs = task[3]
+        for camera_id, depth_ref, color_ref in zip(camera_ids, depth_refs, color_refs):
+            views.append(
+                RGBDFrame(
+                    arena.view(color_ref),
+                    arena.view(depth_ref),
+                    camera_id=camera_id,
+                    sequence=sequence,
+                    timestamp_s=timestamp,
+                )
+            )
+            view_refs.append((depth_ref, color_ref))
+    frame = MultiViewFrame(views, sequence=sequence, timestamp_s=timestamp)
+    frame.shm_refs = group_refs
+    # Per-view refs let downstream sharers (the quality lane) alias the
+    # capture segments instead of copying the frame into fresh ones.
+    frame.shm_view_refs = view_refs
+    return frame
+
+
+def _render_shown_cloud(
+    pair,
+    cameras: list[RGBDCamera],
+    actual_frustum: Frustum,
+    voxel_m: float,
+    batched: bool,
+) -> PointCloud:
+    """Receiver render prep as a pure function: reconstruct + cull.
+
+    Mirrors :meth:`~repro.core.receiver.LiVoReceiver.reconstruct`
+    followed by :meth:`~repro.core.receiver.LiVoReceiver.render_view`
+    exactly (same kernels, same order), so a worker rendering from a
+    shipped :class:`~repro.perf.shmframes.ShmPairHandle` produces the
+    byte-identical cloud the parent would have rendered inline.
+    """
+    if batched:
+        cloud = unproject_views(cameras, pair.depth_tiles_mm, pair.color_tiles)
+    else:
+        cloud = PointCloud.merge(
+            [
+                camera.unproject(depth, color)
+                for camera, depth, color in zip(
+                    cameras, pair.depth_tiles_mm, pair.color_tiles
+                )
+            ]
+        )
+    if cloud.is_empty:
+        return cloud
+    voxelized = voxel_downsample(cloud, voxel_m)
+    return voxelized.select(actual_frustum.contains(voxelized.positions))
 
 
 def _quality_job(
@@ -192,6 +316,7 @@ def _quality_job(
     render_voxel_m: float,
     shown: PointCloud,
     obs_ctx=None,
+    shown_voxel_m: float | None = None,
 ):
     """Pure quality-scoring job: build the ground truth, score the shown
     cloud against it.  No session state touched, so it can run in any
@@ -204,15 +329,48 @@ def _quality_job(
     :class:`repro.obs.span.TraceContext`) set, the scoring runs inside
     a worker-local span shipped back for the session tracer to absorb;
     otherwise ``spans`` is None.
+
+    ``frame`` and ``shown`` may arrive as shared-memory handles
+    (:class:`~repro.perf.shmframes.ShmFrameHandle`,
+    :class:`~repro.perf.shmframes.ShmCloudHandle`, or a
+    :class:`~repro.perf.shmframes.ShmPairHandle` of decoded tiles):
+    the worker attaches and views the shared pages in place, so only
+    the ~100-byte handles ever crossed the pipe.  A pair handle means
+    the parent skipped render prep entirely -- the worker reconstructs
+    and culls the shown cloud itself (``shown_voxel_m`` carries the
+    degradation ladder's effective render voxel), taking that work off
+    the session's critical path.
     """
+    if isinstance(frame, ShmFrameHandle):
+        frame = load_multiview(frame)
+    if isinstance(shown, ShmCloudHandle):
+        shown = load_cloud(shown)
 
     def compute():
-        truth = ground_truth_cloud(frame, cameras, actual_frustum, render_voxel_m)
+        batched = _QUALITY_CTX.get("batch_kernels", True)
+        local_shown = shown
+        if isinstance(local_shown, ShmPairHandle):
+            local_shown = _render_shown_cloud(
+                load_pair(local_shown),
+                cameras,
+                actual_frustum,
+                shown_voxel_m or render_voxel_m,
+                batched,
+            )
+        truth = ground_truth_cloud(
+            frame, cameras, actual_frustum, render_voxel_m, batched=batched
+        )
         if truth.is_empty:
             return None
+        if batched:
+            return pointssim_batch(
+                [(truth, local_shown)],
+                cache=_QUALITY_CTX.get("cache"),
+                max_points=_QUALITY_CTX.get("max_points"),
+            )[0]
         return pointssim(
             truth,
-            shown,
+            local_shown,
             cache=_QUALITY_CTX.get("cache"),
             max_points=_QUALITY_CTX.get("max_points"),
         )
@@ -230,6 +388,15 @@ def _quality_job(
     ):
         score = compute()
     return score, tracer.spans()
+
+
+def _release_frame_shm(executor: Executor, frame) -> None:
+    """Release the shared segments backing a frame's views, if any."""
+    arena = executor.arena
+    if arena is None or frame is None:
+        return
+    for ref in getattr(frame, "shm_refs", ()):
+        arena.release(ref)
 
 
 @dataclass
@@ -265,7 +432,10 @@ class _SessionBase:
     def _make_executor(self, on_crash=None) -> Executor:
         """The executor this session's config asked for."""
         return make_executor(
-            jobs=self.config.jobs, kind=self.config.executor, on_crash=on_crash
+            jobs=self.config.jobs,
+            kind=self.config.executor,
+            on_crash=on_crash,
+            shm=self.config.shm,
         )
 
     def _make_source(
@@ -274,7 +444,7 @@ class _SessionBase:
         """The kernel-cached capture source, or None when disabled."""
         if not self.config.kernel_cache:
             return None
-        return CachedFrameSource(rig, scene)
+        return CachedFrameSource(rig, scene, batch_kernels=self.config.batch_kernels)
 
     def _attach_caches(self, source: CachedFrameSource | None) -> FeatureCache | None:
         """Publish capture/quality cache context for this run's workers."""
@@ -282,6 +452,7 @@ class _SessionBase:
         cache = FeatureCache() if self.config.kernel_cache else None
         _QUALITY_CTX["cache"] = cache
         _QUALITY_CTX["max_points"] = self.config.quality_max_points
+        _QUALITY_CTX["batch_kernels"] = self.config.batch_kernels
         return cache
 
     def _attach_report_caches(
@@ -424,7 +595,14 @@ class LiVoSession(_SessionBase):
         records: dict[int, FrameRecord] = {}
         pair_arrivals: dict[int, dict[int, float]] = {}
         pending: deque[int] = deque()
-        quality_pending: list[tuple[FrameRecord, object]] = []
+        # (record, future, shm refs to release once the future resolves)
+        quality_pending: list[tuple[FrameRecord, object, tuple]] = []
+        # Zero-copy lane: parked (record, submit args, shm refs) quality
+        # jobs awaiting an idle/drain submission point.
+        quality_deferred: list[tuple[FrameRecord, tuple, tuple]] = []
+        # sequence -> release tokens for the shared segments backing that
+        # capture's views (zero-copy lane only).
+        capture_shm: dict[int, list] = {}
         quality_counter = 0
         rx_request_intra = False  # PLI-style request after a poisoned pair
 
@@ -439,6 +617,11 @@ class LiVoSession(_SessionBase):
                 if tick.sequence == 0
                 else _capture_frame(rig, scene, tick.sequence, executor, source)
             )
+            # Record the release tokens here, before the camera-fault
+            # hook may swap the frame object (and its attribute) out.
+            refs = getattr(tick.frame, "shm_refs", None)
+            if refs:
+                capture_shm[tick.sequence] = refs
             return tick
 
         def camera_fault_hook(tick: _Tick) -> _Tick:
@@ -488,17 +671,56 @@ class LiVoSession(_SessionBase):
             voxel_m = None
             if watchdog is not None and watchdog.voxel_scale() > 1.0:
                 voxel_m = config.render_voxel_m * watchdog.voxel_scale()
-            shown = receiver.render_view(receiver.reconstruct(pair), actual, voxel_m)
+            frame_payload = captures[now_sequence]
+            cleanup: tuple = ()
+            obs_ctx = tracer.current_context() if tracer is not None else None
+            if executor.arena is not None:
+                # Zero-copy lane: the frame aliases its capture
+                # segments and the *decoded pair* (not a rendered
+                # cloud) crosses as ~100-byte handles -- the worker
+                # reconstructs and culls the shown view itself, so
+                # render prep leaves the session's critical path
+                # entirely.  Scoring is telemetry, not playout, so the
+                # job is parked (bounded) and submitted at idle/drain
+                # points rather than competing with capture for
+                # workers mid-tick.  Segments are released when the
+                # future's result has been collected.
+                frame_handle = share_multiview(executor.arena, frame_payload)
+                pair_handle = share_pair(executor.arena, pair)
+                cleanup = frame_handle.segment_refs + pair_handle.segment_refs
+                args = (
+                    _quality_job,
+                    frame_handle,
+                    rig.cameras,
+                    actual,
+                    config.render_voxel_m,
+                    pair_handle,
+                    obs_ctx,
+                    voxel_m,
+                )
+                quality_deferred.append((record, args, cleanup))
+                if len(quality_deferred) >= _QUALITY_DEFER_MAX:
+                    flush_quality()
+                return
+            shown = receiver.render_view(
+                receiver.reconstruct(pair), actual, voxel_m
+            )
             future = executor.submit(
                 _quality_job,
-                captures[now_sequence],
+                frame_payload,
                 rig.cameras,
                 actual,
                 config.render_voxel_m,
                 shown,
-                tracer.current_context() if tracer is not None else None,
+                obs_ctx,
             )
-            quality_pending.append((record, future))
+            quality_pending.append((record, future, cleanup))
+
+        def flush_quality() -> None:
+            """Submit every parked quality job to the worker pool."""
+            for record, args, cleanup in quality_deferred:
+                quality_pending.append((record, executor.submit(*args), cleanup))
+            quality_deferred.clear()
 
         decode_stage = Stage("decode", do_decode)
         quality_stage = Stage("quality", do_quality)
@@ -561,6 +783,36 @@ class LiVoSession(_SessionBase):
             encoded.pop(sequence, None)
             pair_arrivals.pop(sequence, None)
             channel.release_frame(sequence)
+            if executor.arena is not None:
+                for ref in capture_shm.pop(sequence, ()):
+                    executor.arena.release(ref)
+
+        def collect_quality(final: bool) -> None:
+            """Absorb finished quality futures; release their segments.
+
+            Runs every tick so in-flight shared segments stay bounded by
+            the number of genuinely unresolved jobs; ``final`` submits
+            the parked jobs and blocks on everything still pending.
+            """
+            if final and quality_deferred:
+                flush_quality()
+            if not quality_pending:
+                return
+            unresolved = []
+            for record, future, cleanup in quality_pending:
+                if not final and not future.done():
+                    unresolved.append((record, future, cleanup))
+                    continue
+                score, shipped_spans = future.result()
+                if shipped_spans and tracer is not None:
+                    tracer.absorb(shipped_spans)
+                if score is not None:
+                    record.pssim_geometry = score.geometry
+                    record.pssim_color = score.color
+                if executor.arena is not None:
+                    for ref in cleanup:
+                        executor.arena.release(ref)
+            quality_pending[:] = unresolved
 
         def resolve_head(now: float, final: bool) -> bool:
             """Resolve the oldest in-flight frame if its fate is known.
@@ -668,6 +920,7 @@ class LiVoSession(_SessionBase):
                 ingest(channel.poll_deliveries(now))
                 while pending and resolve_head(now, final=False):
                     pass
+                collect_quality(final=False)
                 if sequence >= lag:
                     sender.observe_pose(
                         user_trace.pose_at_frame(sequence - lag),
@@ -772,14 +1025,23 @@ class LiVoSession(_SessionBase):
 
             # Collect deferred quality scores (computed in workers when
             # parallel; already resolved when serial).
-            for record, future in quality_pending:
-                score, shipped_spans = future.result()
-                if shipped_spans and tracer is not None:
-                    tracer.absorb(shipped_spans)
-                if score is not None:
-                    record.pssim_geometry = score.geometry
-                    record.pssim_color = score.color
+            collect_quality(final=True)
         finally:
+            if executor.arena is not None:
+                # Frames that never resolved (skipped/empty/encode-failed
+                # sequences, or an aborted run) still hold segments;
+                # release them before close() so they don't count as
+                # lifecycle leaks.
+                for _, _, cleanup in quality_pending:
+                    for ref in cleanup:
+                        executor.arena.release(ref)
+                for _, _, cleanup in quality_deferred:
+                    for ref in cleanup:
+                        executor.arena.release(ref)
+                for refs in capture_shm.values():
+                    for ref in refs:
+                        executor.arena.release(ref)
+                capture_shm.clear()
             sender.close()
             executor.close()
 
@@ -851,6 +1113,17 @@ class LiVoSession(_SessionBase):
         if injector is not None:
             injector.metrics_into(registry)
         registry.absorb_fault_events(events)
+        # Executor health: crash events, items transparently redone
+        # in-process after a pool break, and the shm arena's lifecycle
+        # (the executor is closed by now, so these are final values).
+        registry.counter("executor.crashes").inc(executor.crashes)
+        registry.counter("executor.recomputed").inc(executor.recomputed)
+        if executor.arena is not None:
+            registry.counter("shm.segments_created").inc(executor.arena.created)
+            registry.counter("shm.segments_freed").inc(executor.arena.freed)
+            registry.counter("shm.segments_recycled").inc(executor.arena.recycled)
+            registry.counter("shm.bytes_shared").inc(executor.arena.bytes_shared)
+            registry.counter("shm.segments_leaked").inc(executor.shm_leaked)
         if watchdog is not None:
             # The drain observes deadlines at duration + 5 s; close the
             # time-per-rung accounting on the same sim clock.
@@ -888,11 +1161,19 @@ class DracoOracleSession(_SessionBase):
         # frustum (no prediction error), per the paper's definition.
         def culled_cloud(frame: MultiViewFrame, sequence: int) -> PointCloud:
             frustum = self.device.frustum_for(user_trace.pose_at_frame(sequence))
-            clouds = [
-                camera.unproject(view.depth_mm, view.color)
-                for camera, view in zip(rig.cameras, frame.views)
-            ]
-            merged = PointCloud.merge(clouds)
+            if config.batch_kernels:
+                pairs = list(zip(rig.cameras, frame.views))
+                merged = unproject_views(
+                    [camera for camera, _ in pairs],
+                    [view.depth_mm for _, view in pairs],
+                    [view.color for _, view in pairs],
+                )
+            else:
+                clouds = [
+                    camera.unproject(view.depth_mm, view.color)
+                    for camera, view in zip(rig.cameras, frame.views)
+                ]
+                merged = PointCloud.merge(clouds)
             if merged.is_empty:
                 return merged
             return merged.select(frustum.contains(merged.positions))
@@ -966,7 +1247,11 @@ class DracoOracleSession(_SessionBase):
                                 shown = voxel_downsample(decoded, config.render_voxel_m)
                                 shown = shown.select(actual.contains(shown.positions))
                                 truth = ground_truth_cloud(
-                                    frame, rig.cameras, actual, config.render_voxel_m
+                                    frame,
+                                    rig.cameras,
+                                    actual,
+                                    config.render_voxel_m,
+                                    batched=config.batch_kernels,
                                 )
                                 if not truth.is_empty:
                                     score = pointssim(
@@ -980,6 +1265,7 @@ class DracoOracleSession(_SessionBase):
 
                             quality_stage(score_frame)
                 records.append(record)
+                _release_frame_shm(executor, frame)
         finally:
             executor.close()
 
@@ -1081,7 +1367,11 @@ class MeshReduceSession(_SessionBase):
                                 user_trace.pose_at_frame(sequence)
                             )
                             truth = ground_truth_cloud(
-                                frame, rig.cameras, actual, config.render_voxel_m
+                                frame,
+                                rig.cameras,
+                                actual,
+                                config.render_voxel_m,
+                                batched=config.batch_kernels,
                             )
                             if not truth.is_empty:
                                 sampled = pipeline.reconstruct(
@@ -1101,6 +1391,7 @@ class MeshReduceSession(_SessionBase):
 
                         quality_stage(score_frame)
                 records.append(record)
+                _release_frame_shm(executor, frame)
         finally:
             executor.close()
 

@@ -83,6 +83,19 @@ class SessionReport:
         """Per-stage wall-clock timings, or None if never instrumented."""
         return self._stage_timings
 
+    def asdict(self) -> dict:
+        """Deterministic dict of the report's dataclass fields.
+
+        Stage timings, cache counters, traces, and metric registries are
+        non-field attachments and therefore excluded -- two replays of
+        the same seed compare equal regardless of wall clock, executor
+        kind, or instrumentation, which is exactly what the executor
+        parity tests assert.
+        """
+        from dataclasses import asdict as _asdict
+
+        return _asdict(self)
+
     def timing_table(self) -> str:
         """Human-readable per-stage service-time table (``--profile``)."""
         if not self._stage_timings:

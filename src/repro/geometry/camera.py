@@ -23,7 +23,7 @@ import numpy as np
 from repro.geometry.pointcloud import PointCloud
 from repro.geometry.transforms import invert_transform, look_at, transform_points
 
-__all__ = ["CameraIntrinsics", "CameraExtrinsics", "RGBDCamera"]
+__all__ = ["CameraIntrinsics", "CameraExtrinsics", "RGBDCamera", "unproject_views"]
 
 # Kinect-class depth cameras sense roughly 0.25 m to 6 m (paper section 3.2:
 # "maximum depth range of 5-6 meters ... depth values can range 0-6000 at
@@ -218,6 +218,89 @@ class RGBDCamera:
     def in_image(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
         """Mask of pixel coordinates that land inside the image."""
         return (u >= 0) & (u < self.intrinsics.width) & (v >= 0) & (v < self.intrinsics.height)
+
+
+def unproject_views(
+    cameras: list[RGBDCamera],
+    depth_images: list[np.ndarray],
+    color_images: list[np.ndarray] | None = None,
+) -> PointCloud:
+    """Unproject many cameras' depth images into one merged world cloud.
+
+    Structure-of-arrays twin of the per-camera loop
+    ``PointCloud.merge([camera.unproject(depth, color) for ...])`` --
+    bit-identical by construction.  When every camera shares the same
+    intrinsics (the rig's common case), the valid masks, depth scaling,
+    and ray-factor multiplies run over one ``(C, H, W)`` stack, so the
+    whole rig unprojects in a handful of numpy calls; only the rigid
+    per-camera transform still runs per camera (each has its own pose).
+    Each camera's points land in a preallocated slice of the output, in
+    the same camera order the merge would concatenate, skipping the
+    intermediate per-camera clouds and their extra copies.
+    """
+    cameras = list(cameras)
+    depth_images = [np.asarray(depth) for depth in depth_images]
+    count = min(len(cameras), len(depth_images))
+    cameras = cameras[:count]
+    depth_images = depth_images[:count]
+    for camera, depth in zip(cameras, depth_images):
+        if depth.shape != (camera.intrinsics.height, camera.intrinsics.width):
+            raise ValueError(
+                f"depth shape {depth.shape} does not match intrinsics "
+                f"({camera.intrinsics.height}, {camera.intrinsics.width})"
+            )
+    if not cameras:
+        return PointCloud()
+
+    shared = all(
+        camera.intrinsics == cameras[0].intrinsics for camera in cameras[1:]
+    )
+    if shared:
+        # One stacked pass for the intrinsic half.  The boolean index
+        # flattens camera-major (C-order), which is exactly the order
+        # the per-camera merge concatenates.
+        depth_stack = np.stack(depth_images)
+        valid = depth_stack > 0
+        counts = valid.reshape(count, -1).sum(axis=1)
+        z = depth_stack[valid].astype(np.float64) / 1000.0
+        x_factor = np.broadcast_to(cameras[0]._x_factor, depth_stack.shape)
+        y_factor = np.broadcast_to(cameras[0]._y_factor, depth_stack.shape)
+        x = x_factor[valid] * z
+        y = y_factor[valid] * z
+        local = np.stack([x, y, z], axis=1)
+        positions = np.empty_like(local)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        for index, camera in enumerate(cameras):
+            segment = slice(offsets[index], offsets[index + 1])
+            positions[segment] = transform_points(
+                camera.extrinsics.camera_to_world, local[segment]
+            )
+        if color_images is not None:
+            colors = np.stack([np.asarray(c) for c in color_images[:count]])[valid]
+        else:
+            colors = np.zeros((len(positions), 3), dtype=np.uint8)
+        return PointCloud(positions, colors)
+
+    # Mixed-intrinsics rig: per-camera math, still into one output.
+    masks = [depth > 0 for depth in depth_images]
+    counts = [int(mask.sum()) for mask in masks]
+    total = int(sum(counts))
+    positions = np.empty((total, 3))
+    colors = np.zeros((total, 3), dtype=np.uint8)
+    start = 0
+    for index, (camera, depth, mask) in enumerate(zip(cameras, depth_images, masks)):
+        stop = start + counts[index]
+        z = depth[mask].astype(np.float64) / 1000.0
+        x = camera._x_factor[mask] * z
+        y = camera._y_factor[mask] * z
+        local = np.stack([x, y, z], axis=1)
+        positions[start:stop] = transform_points(
+            camera.extrinsics.camera_to_world, local
+        )
+        if color_images is not None:
+            colors[start:stop] = np.asarray(color_images[index])[mask]
+        start = stop
+    return PointCloud(positions, colors)
 
 
 def ring_of_cameras(

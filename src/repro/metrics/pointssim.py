@@ -45,6 +45,7 @@ __all__ = [
     "pointssim_from_features",
     "stratified_subsample",
     "pointssim",
+    "pointssim_batch",
 ]
 
 _LUMA = np.array([0.299, 0.587, 0.114])
@@ -181,11 +182,142 @@ def stratified_subsample(
     if n <= max_points:
         return cloud
     rng = np.random.default_rng(np.random.SeedSequence((seed, n, max_points)))
-    edges = np.linspace(0, n, max_points + 1)
-    lows = np.floor(edges[:-1]).astype(np.int64)
-    highs = np.maximum(np.floor(edges[1:]).astype(np.int64), lows + 1)
+    # Exact integer strata: bounds[i] = floor(i * n / max_points) computed
+    # in integer arithmetic.  With n > max_points every stratum has width
+    # >= 1, the strata partition [0, n) exactly, and each seeded pick
+    # stays inside its own stratum -- so picks are strictly increasing
+    # and never duplicated.  (The previous float-linspace construction
+    # could round a boundary down, creating a zero-width stratum whose
+    # forced widening overlapped its neighbor and duplicated an index.)
+    bounds = (np.arange(max_points + 1, dtype=np.int64) * n) // max_points
+    lows = bounds[:-1]
+    highs = bounds[1:]
     picks = lows + rng.integers(0, highs - lows)
-    return cloud.select(np.minimum(picks, n - 1))
+    return cloud.select(picks)
+
+
+def pointssim_batch(
+    pairs,
+    k: int = 9,
+    proximity_scale: float | None = None,
+    cache=None,
+    max_points: int | None = None,
+    seed: int = 0,
+) -> list[PSSIMResult]:
+    """Score many (reference, distorted) pairs in one structure-of-arrays pass.
+
+    Float-identical to calling :func:`pointssim` once per pair, by
+    construction:
+
+    * feature extraction (the KD-tree half) runs through the exact
+      per-cloud :func:`precompute_features` path, but only **once per
+      distinct cloud object** in the batch -- a reference shared by
+      several pairs (every baseline scored against the same ground
+      truth, every SFU receiver against the same uplink frame) builds
+      its tree and features a single time;
+    * the cross-cloud 1-NN association stays a per-direction
+      ``b.tree.query(a.positions)`` (KD queries are not batchable
+      without changing tie-breaking);
+    * the comparison half -- :func:`_feature_similarity`, the Gaussian
+      proximity term, and the 0-100 pooling -- is elementwise, so all
+      directions of all pairs are concatenated and pushed through
+      *one* vectorized pass per channel.  Elementwise ufuncs give the
+      same IEEE result per lane regardless of batching, and each
+      direction's mean reduces a contiguous slice holding exactly the
+      values the scalar path reduces, so numpy's pairwise summation
+      visits them in the same order.
+
+    Empty distorted clouds score ``PSSIMResult(0, 0)`` in place, as in
+    the scalar path; an empty reference raises.
+    """
+    pairs = list(pairs)
+    results: list[PSSIMResult | None] = [None] * len(pairs)
+
+    # Feature builds deduplicated on cloud object identity.  Holding the
+    # cloud in the memo value keeps its id() from being recycled while
+    # the batch is alive.
+    memo: dict[int, tuple[PointCloud, CloudFeatures]] = {}
+
+    def features_of(cloud: PointCloud) -> CloudFeatures:
+        key = id(cloud)
+        hit = memo.get(key)
+        if hit is not None:
+            return hit[1]
+        scored = cloud
+        if max_points is not None:
+            scored = stratified_subsample(scored, max_points, seed)
+        if cache is not None:
+            feats = cache.features(scored, k)
+        else:
+            feats = precompute_features(scored, k)
+        memo[key] = (cloud, feats)
+        return feats
+
+    # One entry per (pair, direction): the per-direction 1-NN queries
+    # stay exact; only the elementwise tail is fused.
+    directions: list[tuple] = []
+    for index, (reference, distorted) in enumerate(pairs):
+        if reference.is_empty:
+            raise ValueError("reference cloud must not be empty")
+        if distorted.is_empty:
+            results[index] = PSSIMResult(0.0, 0.0)
+            continue
+        ref_features = features_of(reference)
+        dist_features = features_of(distorted)
+        diagonal = float(np.linalg.norm(ref_features.hi - ref_features.lo))
+        scale = proximity_scale
+        if scale is None:
+            scale = max(diagonal * 0.015, 1e-6)
+        for a, b in ((ref_features, dist_features), (dist_features, ref_features)):
+            nn_distance, nn_index = b.tree.query(a.positions)
+            directions.append(
+                (
+                    index,
+                    a.num_points,
+                    a.geometry,
+                    b.geometry[nn_index],
+                    a.color,
+                    b.color[nn_index],
+                    nn_distance,
+                    scale,
+                )
+            )
+
+    if not directions:
+        return [r if r is not None else PSSIMResult(0.0, 0.0) for r in results]
+
+    lengths = np.array([d[1] for d in directions])
+    offsets = np.concatenate(([0], np.cumsum(lengths)))
+    geometry_a = np.concatenate([d[2] for d in directions])
+    geometry_b = np.concatenate([d[3] for d in directions])
+    color_a = np.concatenate([d[4] for d in directions])
+    color_b = np.concatenate([d[5] for d in directions])
+    nn_distances = np.concatenate([d[6] for d in directions])
+    scales = np.concatenate(
+        [np.full(d[1], d[7], dtype=np.float64) for d in directions]
+    )
+
+    geometry_similarity = _feature_similarity(geometry_a, geometry_b)
+    color_similarity = _feature_similarity(color_a, color_b)
+    proximity = np.exp(-((nn_distances / scales) ** 2))
+    geometry_scored = geometry_similarity * proximity
+
+    pair_scores: dict[int, tuple[list[float], list[float]]] = {}
+    for slot, direction in enumerate(directions):
+        pair_index = direction[0]
+        start, end = offsets[slot], offsets[slot + 1]
+        geometry_score = float(geometry_scored[start:end].mean())
+        color_score = float(color_similarity[start:end].mean())
+        bucket = pair_scores.setdefault(pair_index, ([], []))
+        bucket[0].append(geometry_score)
+        bucket[1].append(color_score)
+
+    for pair_index, (scores_geometry, scores_color) in pair_scores.items():
+        results[pair_index] = PSSIMResult(
+            geometry=100.0 * float(np.mean(scores_geometry)),
+            color=100.0 * float(np.mean(scores_color)),
+        )
+    return [r if r is not None else PSSIMResult(0.0, 0.0) for r in results]
 
 
 def pointssim(

@@ -23,9 +23,11 @@ identical values and parallel replays stay byte-identical to serial
 
 from __future__ import annotations
 
+from collections import defaultdict
+
 import numpy as np
 
-from repro.capture.renderer import ProjectionCache, render_views
+from repro.capture.renderer import ProjectionCache, fill_holes_batch, render_views
 from repro.capture.rgbd import MultiViewFrame, RGBDFrame
 from repro.capture.rig import CaptureRig
 from repro.capture.scene import Scene
@@ -43,10 +45,17 @@ class CachedFrameSource:
     point set) -- the parity baseline used by tests and benchmarks.
     """
 
-    def __init__(self, rig: CaptureRig, scene: Scene, cached: bool = True) -> None:
+    def __init__(
+        self,
+        rig: CaptureRig,
+        scene: Scene,
+        cached: bool = True,
+        batch_kernels: bool = True,
+    ) -> None:
         self.rig = rig
         self.scene = scene
         self.cached = cached
+        self.batch_kernels = batch_kernels
         self._caches = [ProjectionCache(camera) for camera in rig.cameras]
 
     def capture(self, sequence: int) -> MultiViewFrame:
@@ -55,10 +64,9 @@ class CachedFrameSource:
         batches = self.scene.sample_batches(timestamp)
         if not self.cached:
             return self._full_render(batches, sequence, timestamp)
-        views = [
-            cache.render(batches, sequence=sequence, timestamp_s=timestamp)
-            for cache in self._caches
-        ]
+        views = self._render_chunk(
+            list(range(self.rig.num_cameras)), batches, sequence, timestamp
+        )
         return MultiViewFrame(views, sequence=sequence, timestamp_s=timestamp)
 
     def capture_views(self, camera_indices: list[int], sequence: int) -> list[RGBDFrame]:
@@ -73,12 +81,56 @@ class CachedFrameSource:
         if not self.cached:
             full = self._full_render(batches, sequence, timestamp)
             return [full.views[index] for index in camera_indices]
-        return [
-            self._caches[index].render(
-                batches, sequence=sequence, timestamp_s=timestamp
+        return self._render_chunk(list(camera_indices), batches, sequence, timestamp)
+
+    def _render_chunk(
+        self, camera_indices: list[int], batches, sequence: int, timestamp: float
+    ) -> list[RGBDFrame]:
+        """Render a set of cameras, hole-filling the whole set in one pass.
+
+        With ``batch_kernels`` the per-camera z-buffers are produced
+        unfilled (:meth:`ProjectionCache.render_arrays`) and the hole
+        filling runs once over the stacked ``(N, H, W)`` images
+        (:func:`fill_holes_batch`) -- bit-identical to filling each
+        camera separately, grouped by image shape so mixed-resolution
+        rigs still batch what they can.
+        """
+        if not self.batch_kernels or len(camera_indices) < 2:
+            return [
+                self._caches[index].render(
+                    batches, sequence=sequence, timestamp_s=timestamp
+                )
+                for index in camera_indices
+            ]
+        frames: list[RGBDFrame | None] = [None] * len(camera_indices)
+        pending: dict[tuple, list[tuple[int, np.ndarray, np.ndarray]]] = defaultdict(list)
+        for slot, index in enumerate(camera_indices):
+            depth, color, needs_fill = self._caches[index].render_arrays(batches)
+            if needs_fill:
+                pending[depth.shape].append((slot, depth, color))
+            else:
+                frames[slot] = RGBDFrame(
+                    color,
+                    depth,
+                    camera_id=self._caches[index].camera.camera_id,
+                    sequence=sequence,
+                    timestamp_s=timestamp,
+                )
+        for members in pending.values():
+            depths, colors = fill_holes_batch(
+                np.stack([depth for _, depth, _ in members]),
+                np.stack([color for _, _, color in members]),
             )
-            for index in camera_indices
-        ]
+            for row, (slot, _, _) in enumerate(members):
+                index = camera_indices[slot]
+                frames[slot] = RGBDFrame(
+                    colors[row],
+                    depths[row],
+                    camera_id=self._caches[index].camera.camera_id,
+                    sequence=sequence,
+                    timestamp_s=timestamp,
+                )
+        return frames
 
     def _full_render(self, batches, sequence: int, timestamp: float) -> MultiViewFrame:
         points = np.concatenate([batch.points for batch in batches], axis=0)

@@ -1,0 +1,202 @@
+"""Shared-memory payload codecs for capture frames and point clouds.
+
+The handle protocol (:mod:`repro.runtime.shm`) moves raw arrays; this
+module packs the heavy session payloads -- a
+:class:`~repro.capture.rgbd.MultiViewFrame` crossing into quality
+workers, a decoded :class:`~repro.core.receiver.DecodedPair` of tile
+arrays, a :class:`~repro.geometry.pointcloud.PointCloud` -- into
+shared segments, so a multi-megabyte payload crosses the process
+boundary as a ~100-byte pickle of names and offsets.
+
+Frames whose views already live in the arena (captured through the
+zero-copy lane, which attaches ``shm_view_refs``) are not copied at
+all: :func:`share_multiview` retains the existing capture segments and
+hands out refs that alias them.  Only frames from outside the arena
+(serial capture, a fault hook's synthetic frame) pay the one copy into
+a fresh segment.
+
+Both handles round-trip losslessly: the loaded frame/cloud views the
+shared pages in place (no copy on the worker side), and every array is
+bit-identical to the original, so shm-routed sessions replay
+byte-identically to plain argument passing (asserted in the executor
+parity tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.capture.rgbd import MultiViewFrame, RGBDFrame
+from repro.core.receiver import DecodedPair
+from repro.geometry.pointcloud import PointCloud
+from repro.runtime.shm import ShmArena, ShmArrayRef, attach_array
+
+__all__ = [
+    "ShmFrameHandle",
+    "ShmCloudHandle",
+    "ShmPairHandle",
+    "share_multiview",
+    "load_multiview",
+    "share_cloud",
+    "load_cloud",
+    "share_pair",
+    "load_pair",
+]
+
+
+def _distinct_segments(refs) -> tuple:
+    """One ref per distinct underlying segment, in first-seen order."""
+    seen = {}
+    for ref in refs:
+        if ref.name not in seen:
+            seen[ref.name] = ref
+    return tuple(seen.values())
+
+
+@dataclass(frozen=True)
+class ShmFrameHandle:
+    """A multi-view frame as refs into shared segments.
+
+    One segment when the frame was packed by :func:`share_multiview`'s
+    copy path; one per capture chunk when the refs alias the zero-copy
+    capture lane's segments.
+    """
+
+    sequence: int
+    timestamp_s: float
+    camera_ids: tuple
+    depth_refs: tuple
+    color_refs: tuple
+
+    @property
+    def segment_refs(self) -> tuple:
+        """One ref per underlying segment (the release tokens)."""
+        return _distinct_segments(self.depth_refs + self.color_refs)
+
+
+@dataclass(frozen=True)
+class ShmCloudHandle:
+    """A point cloud as refs into one shared segment."""
+
+    positions: ShmArrayRef
+    colors: ShmArrayRef
+
+    @property
+    def segment_refs(self) -> tuple:
+        return _distinct_segments((self.positions, self.colors))
+
+
+@dataclass(frozen=True)
+class ShmPairHandle:
+    """A decoded (color, depth) tile pair as refs into one segment.
+
+    Shipping the *pair* instead of the rendered cloud moves the whole
+    reconstruct + render-prep step into the quality worker, off the
+    session's critical path.
+    """
+
+    sequence: int
+    color_refs: tuple
+    depth_refs: tuple
+
+    @property
+    def segment_refs(self) -> tuple:
+        return _distinct_segments(self.color_refs + self.depth_refs)
+
+
+def share_multiview(arena: ShmArena, frame: MultiViewFrame) -> ShmFrameHandle:
+    """Share a frame's per-view depth/color arrays, zero-copy when able.
+
+    A frame captured through the arena carries ``shm_view_refs`` -- its
+    views already *are* shared pages -- so the handle just retains those
+    segments (one extra reference each) and no bytes move.  Any other
+    frame is packed into one fresh segment.  Either way the caller must
+    release every ref in ``handle.segment_refs`` once all consumers are
+    done.  Frames with no views cannot be shared (nothing to pack);
+    callers pass those tiny frames through as plain arguments.
+    """
+    if not frame.views:
+        raise ValueError("cannot share a frame with no views")
+    view_refs = getattr(frame, "shm_view_refs", None)
+    if (
+        view_refs is not None
+        and len(view_refs) == len(frame.views)
+        and all(
+            arena.owns(depth_ref) and arena.owns(color_ref)
+            for depth_ref, color_ref in view_refs
+        )
+    ):
+        handle = ShmFrameHandle(
+            sequence=frame.sequence,
+            timestamp_s=frame.timestamp_s,
+            camera_ids=tuple(view.camera_id for view in frame.views),
+            depth_refs=tuple(depth for depth, _ in view_refs),
+            color_refs=tuple(color for _, color in view_refs),
+        )
+        for ref in handle.segment_refs:
+            arena.retain(ref)
+        return handle
+    arrays = [view.depth_mm for view in frame.views] + [
+        view.color for view in frame.views
+    ]
+    refs = arena.share(*arrays)
+    count = len(frame.views)
+    return ShmFrameHandle(
+        sequence=frame.sequence,
+        timestamp_s=frame.timestamp_s,
+        camera_ids=tuple(view.camera_id for view in frame.views),
+        depth_refs=tuple(refs[:count]),
+        color_refs=tuple(refs[count:]),
+    )
+
+
+def load_multiview(handle: ShmFrameHandle) -> MultiViewFrame:
+    """Reconstruct a frame viewing the shared pages in place."""
+    views = [
+        RGBDFrame(
+            attach_array(color_ref),
+            attach_array(depth_ref),
+            camera_id=camera_id,
+            sequence=handle.sequence,
+            timestamp_s=handle.timestamp_s,
+        )
+        for camera_id, depth_ref, color_ref in zip(
+            handle.camera_ids, handle.depth_refs, handle.color_refs
+        )
+    ]
+    return MultiViewFrame(
+        views, sequence=handle.sequence, timestamp_s=handle.timestamp_s
+    )
+
+
+def share_cloud(arena: ShmArena, cloud: PointCloud) -> ShmCloudHandle:
+    """Pack a cloud's positions and colors into one segment."""
+    positions_ref, colors_ref = arena.share(cloud.positions, cloud.colors)
+    return ShmCloudHandle(positions=positions_ref, colors=colors_ref)
+
+
+def load_cloud(handle: ShmCloudHandle) -> PointCloud:
+    """Reconstruct a cloud viewing the shared pages in place."""
+    return PointCloud(
+        attach_array(handle.positions), attach_array(handle.colors)
+    )
+
+
+def share_pair(arena: ShmArena, pair: DecodedPair) -> ShmPairHandle:
+    """Pack a decoded pair's tile arrays into one segment."""
+    count = len(pair.color_tiles)
+    refs = arena.share(*pair.color_tiles, *pair.depth_tiles_mm)
+    return ShmPairHandle(
+        sequence=pair.sequence,
+        color_refs=tuple(refs[:count]),
+        depth_refs=tuple(refs[count:]),
+    )
+
+
+def load_pair(handle: ShmPairHandle) -> DecodedPair:
+    """Reconstruct a decoded pair viewing the shared pages in place."""
+    return DecodedPair(
+        sequence=handle.sequence,
+        color_tiles=[attach_array(ref) for ref in handle.color_refs],
+        depth_tiles_mm=[attach_array(ref) for ref in handle.depth_refs],
+    )

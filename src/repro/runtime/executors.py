@@ -22,6 +22,7 @@ from __future__ import annotations
 import multiprocessing as mp
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 
+from repro.runtime.shm import ShmArena
 from repro.runtime.workers import StatefulWorker, WorkerCrash
 
 __all__ = [
@@ -45,6 +46,9 @@ class _ImmediateFuture:
         if self._error is not None:
             raise self._error
         return self._value
+
+    def done(self) -> bool:
+        return True
 
 
 class _LocalStatefulHandle:
@@ -96,6 +100,17 @@ class Executor:
             raise ValueError("jobs must be at least 1")
         self.jobs = jobs
         self.crashes = 0
+        # Items recomputed in-process after a pool crash (a crash event
+        # bumps ``crashes`` once; ``recomputed`` counts the work redone).
+        self.recomputed = 0
+        # Shared-memory arena for zero-copy payload passing; only the
+        # process executor ever sets one.  Serial/thread executors pass
+        # arrays through untouched (``arena is None``), so payload
+        # routing degrades to plain arguments and results stay
+        # byte-identical across executor kinds.
+        self.arena: ShmArena | None = None
+        # Segments the arena's close() found still referenced.
+        self.shm_leaked = 0
 
     @property
     def parallel(self) -> bool:
@@ -175,6 +190,9 @@ class _FallbackFuture:
             self._executor._note_crash()
             return self._fn(*self._args)
 
+    def done(self) -> bool:
+        return self._future.done()
+
 
 class ProcessExecutor(Executor):
     """Fork-based process pool with degrade-don't-hang crash handling.
@@ -189,13 +207,15 @@ class ProcessExecutor(Executor):
 
     kind = "process"
 
-    def __init__(self, jobs: int, on_crash=None) -> None:
+    def __init__(self, jobs: int, on_crash=None, shm: bool = False) -> None:
         super().__init__(jobs=jobs)
         self._ctx = mp.get_context("fork")
         self._pool = ProcessPoolExecutor(max_workers=jobs, mp_context=self._ctx)
         self._broken = False
         self._on_crash = on_crash
         self._workers: list[StatefulWorker] = []
+        if shm:
+            self.arena = ShmArena()
 
     def _note_crash(self) -> None:
         self.crashes += 1
@@ -204,14 +224,36 @@ class ProcessExecutor(Executor):
             self._on_crash()
 
     def map(self, fn, items) -> list:
+        """Order-preserving parallel map with incremental crash recovery.
+
+        Results are collected per item, so when the pool breaks mid-map
+        (a worker killed or dead) only the items whose futures never
+        resolved are recomputed in-process -- work that completed before
+        the crash is kept, the crash event is counted once, and the
+        redone items are tallied in ``recomputed``.
+        """
         items = list(items)
         if self._broken:
             return [fn(item) for item in items]
         try:
-            return list(self._pool.map(fn, items))
+            futures = [self._pool.submit(fn, item) for item in items]
         except (BrokenExecutor, OSError):
             self._note_crash()
+            self.recomputed += len(items)
             return [fn(item) for item in items]
+        results = [None] * len(items)
+        unfinished = []
+        for index, future in enumerate(futures):
+            try:
+                results[index] = future.result()
+            except (BrokenExecutor, OSError):
+                unfinished.append(index)
+        if unfinished:
+            self._note_crash()
+            self.recomputed += len(unfinished)
+            for index in unfinished:
+                results[index] = fn(items[index])
+        return results
 
     def submit(self, fn, *args):
         if self._broken:
@@ -234,15 +276,24 @@ class ProcessExecutor(Executor):
             except Exception:
                 pass
         self._pool.shutdown(wait=True)
+        if self.arena is not None:
+            # Free after the pool is down so no worker still views a
+            # segment; anything still referenced is a lifecycle bug the
+            # leak counter (and the leak tests) surface.
+            self.shm_leaked += len(self.arena.close())
 
 
-def make_executor(jobs: int = 1, kind: str = "auto", on_crash=None) -> Executor:
+def make_executor(
+    jobs: int = 1, kind: str = "auto", on_crash=None, shm: bool = False
+) -> Executor:
     """Build the executor a session asked for.
 
     ``kind``: ``serial`` forces the deterministic reference;
     ``thread``/``process`` force a substrate; ``auto`` picks serial at
     ``jobs == 1`` and the fork-based process pool otherwise (falling
-    back to threads where fork is unavailable).
+    back to threads where fork is unavailable).  ``shm`` arms the
+    process executor's shared-memory arena (zero-copy payload lane);
+    it is ignored for executors that share an address space already.
     """
     if kind not in ("auto", "serial", "thread", "process"):
         raise ValueError(f"unknown executor kind {kind!r}")
@@ -254,6 +305,6 @@ def make_executor(jobs: int = 1, kind: str = "auto", on_crash=None) -> Executor:
         return ThreadExecutor(jobs)
     if kind == "process" or kind == "auto":
         if "fork" in mp.get_all_start_methods():
-            return ProcessExecutor(jobs, on_crash=on_crash)
+            return ProcessExecutor(jobs, on_crash=on_crash, shm=shm)
         return ThreadExecutor(jobs)
     raise AssertionError("unreachable")
