@@ -7,11 +7,20 @@ for: sessions sustainable per core at the 30 fps frame budget, p99
 session-frame latency, and aggregate uplink savings against a unicast
 control group running the identical schedule.
 
+By default every run is an ablation pair: the same fleet once with the
+per-session loop (``batch_plane=False``) and once on the cross-session
+batch plane (DESIGN.md section 15).  Before any timing is compared,
+the two runs' per-session output digests are asserted equal -- the
+speedup claim is only meaningful over byte-identical work.  ``--no-
+batch-plane`` skips the batched run and reports the per-session loop
+alone.
+
 Writes ``BENCH_fleet.json`` next to the repo root.  ``--smoke`` runs a
 reduced fleet and exits nonzero if the SFU's per-frame uplink exceeds
 the unicast control's (the fan-out must never cost more uplink than N
-independent pipelines) or if per-session overhead regresses past the
-budget -- cheap enough for CI.
+independent pipelines), if per-session overhead regresses past the
+budget, if the batch plane is slower than the per-session loop, or if
+any session's digest diverges between the two -- cheap enough for CI.
 """
 
 from __future__ import annotations
@@ -40,28 +49,80 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--frames", type=int, default=30, help="frames per conference")
     parser.add_argument(
         "--smoke", action="store_true",
-        help="reduced fleet; exit 1 on uplink or per-session overhead regression",
+        help="reduced fleet; exit 1 on uplink, overhead, batch-plane "
+        "slowdown, or digest-divergence regression",
+    )
+    parser.add_argument(
+        "--no-batch-plane", action="store_true",
+        help="skip the batch-plane run; report the per-session loop alone",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print the fleet-wide cache/batch hit-rate table",
+    )
+    parser.add_argument(
+        "--trace-jsonl", default=None, metavar="PATH",
+        help="record the batch-plane run's spans for analyze-trace --fleet",
     )
     parser.add_argument("--out", default=None, help="output JSON path")
     args = parser.parse_args(argv)
 
     if args.smoke:
-        fleet = FleetConfig(
+        shape = dict(
             sessions=12, frames=10, receivers=2, churn_every=4,
             sample_budget=2000, unicast_control=3,
         )
     else:
-        fleet = FleetConfig(
+        shape = dict(
             sessions=args.sessions, frames=args.frames, receivers=3,
             churn_every=10, unicast_control=4,
         )
 
-    result = run_fleet(fleet)
+    # The per-session loop always runs: it is both the ablation control
+    # and the digest reference the batch plane is pinned against.
+    control = run_fleet(FleetConfig(**shape, batch_plane=False))
+    digests_match = True
+    if args.no_batch_plane:
+        result = control
+        ablation = None
+    else:
+        result = run_fleet(
+            FleetConfig(**shape, batch_plane=True, trace_jsonl=args.trace_jsonl)
+        )
+        # Byte-identity FIRST: a speedup over different work is not a
+        # speedup.  Compare per session so a divergence names itself.
+        digests_match = result.session_digests == control.session_digests
+        if not digests_match:
+            diverged = [
+                index
+                for index, (a, b) in enumerate(
+                    zip(result.session_digests, control.session_digests)
+                )
+                if a != b
+            ]
+            print(f"FAIL: batch plane diverged for sessions {diverged}")
+        ablation = {
+            "no_batch_plane": {
+                "wall_s": round(control.wall_s, 3),
+                "session_frames_per_s": round(control.session_frames_per_s, 1),
+                "latency_ms_mean": round(control.latency_ms_mean, 3),
+                "fleet_digest": control.fleet_digest,
+            },
+            "batch_plane_speedup": round(
+                result.session_frames_per_s / control.session_frames_per_s, 3
+            )
+            if control.session_frames_per_s > 0
+            else None,
+            "digests_match": digests_match,
+        }
+
     payload = {
         "bench": "SFU fleet capacity (churned conferences over shared caches)",
         "mode": "smoke" if args.smoke else "full",
         "fleet": result.to_dict(),
     }
+    if ablation is not None:
+        payload["ablation"] = ablation
 
     out = (
         Path(args.out)
@@ -89,10 +150,26 @@ def main(argv: list[str] | None = None) -> int:
         f"uplink   sfu {uplink['sfu']:.0f} B/frame vs unicast {uplink['unicast']:.0f} "
         f"B/frame ({100 * report['uplink_savings']:.1f}% saved)"
     )
+    if ablation is not None:
+        print(
+            f"ablation batch plane {report['session_frames_per_s']:.0f} sf/s vs "
+            f"per-session loop "
+            f"{ablation['no_batch_plane']['session_frames_per_s']:.0f} sf/s "
+            f"({ablation['batch_plane_speedup']:.2f}x, digests "
+            f"{'match' if digests_match else 'DIVERGED'})"
+        )
+    if args.profile:
+        print()
+        print(f"{'cache':28s} {'hits':>10s} {'misses':>9s} {'hit rate':>9s}")
+        for name, stats in sorted(report["cache_stats"].items()):
+            print(
+                f"{name:28s} {stats['hits']:10d} {stats['misses']:9d} "
+                f"{stats['hit_rate']:9.3f}"
+            )
     print(f"wrote {out}")
 
     if args.smoke:
-        failed = False
+        failed = not digests_match
         if uplink["sfu"] > uplink["unicast"]:
             print("FAIL: sfu uplink bytes exceed unicast's")
             failed = True
@@ -102,9 +179,22 @@ def main(argv: list[str] | None = None) -> int:
                 f"({latency['mean']:.1f} ms/frame > {SMOKE_MS_PER_FRAME_BUDGET} ms budget)"
             )
             failed = True
+        if ablation is not None and ablation["batch_plane_speedup"] < 1.0:
+            print(
+                f"FAIL: batch plane slower than the per-session loop "
+                f"({ablation['batch_plane_speedup']:.2f}x)"
+            )
+            failed = True
         if failed:
             return 1
-        print("smoke OK: sfu uplink under unicast, per-session overhead in budget")
+        print(
+            "smoke OK: uplink under unicast, overhead in budget"
+            + (
+                ", batch plane faster and byte-identical"
+                if ablation is not None
+                else ""
+            )
+        )
     return 0
 
 

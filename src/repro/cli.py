@@ -95,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
         "executor (payloads cross as pickles); outputs are byte-identical "
         "either way",
     )
+    run.add_argument(
+        "--no-batch-plane", action="store_true",
+        help="disable the batch plane (encoders run the per-stream serial "
+        "schedule instead of co-batched kernel buckets); outputs are "
+        "byte-identical either way",
+    )
 
     analyze = sub.add_parser(
         "analyze-trace",
@@ -110,6 +116,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--categories", default="stage",
         help="comma-separated span categories to include (default: stage; "
         "e.g. stage,kernel,worker)",
+    )
+    analyze.add_argument(
+        "--fleet", action="store_true",
+        help="fleet-trace mode: include lockstep batch-plane spans "
+        "(categories stage,batch unless --categories overrides) and count "
+        "frames per (session, frame) pair",
     )
     analyze.add_argument(
         "--tolerance", type=float, default=0.05,
@@ -216,6 +228,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         transport_fast_path=not args.no_transport_fast_path,
         batch_kernels=not args.no_batch_kernels,
         shm=not args.no_shm,
+        batch_plane=not args.no_batch_plane,
         trace=tracing,
     )
     if args.scheme in ("LiVo", "LiVo-NoCull", "LiVo-NoAdapt"):
@@ -259,6 +272,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_analyze_trace(args: argparse.Namespace) -> int:
     from repro.analysis.tracetools import (
+        FLEET_CATEGORIES,
         critical_path_from_jsonl,
         diff_critical_paths,
         format_critical_path,
@@ -271,6 +285,8 @@ def _cmd_analyze_trace(args: argparse.Namespace) -> int:
     categories = tuple(
         part.strip() for part in args.categories.split(",") if part.strip()
     )
+    if args.fleet and args.categories == "stage":
+        categories = FLEET_CATEGORIES
     paths = [
         critical_path_from_jsonl(trace, categories=categories)
         for trace in args.traces

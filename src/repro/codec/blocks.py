@@ -11,7 +11,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["pad_to_blocks", "split_blocks", "merge_blocks", "block_grid_shape"]
+__all__ = [
+    "pad_to_blocks",
+    "split_blocks",
+    "split_blocks_nd",
+    "merge_blocks",
+    "block_grid_shape",
+]
 
 DEFAULT_BLOCK_SIZE = 8
 
@@ -46,6 +52,32 @@ def split_blocks(plane: np.ndarray, block_size: int = DEFAULT_BLOCK_SIZE) -> np.
         plane.reshape(rows, block_size, cols, block_size)
         .swapaxes(1, 2)
         .reshape(rows * cols, block_size, block_size)
+    )
+
+
+def split_blocks_nd(planes: np.ndarray, block_size: int = DEFAULT_BLOCK_SIZE) -> np.ndarray:
+    """Split a stack of planes ``(..., H, W)`` into ``(..., N, B, B)`` blocks.
+
+    The batched twin of :func:`split_blocks`: every leading axis is
+    preserved and each plane is edge-padded and split exactly as the 2D
+    function would, so ``split_blocks_nd(x)[i] == split_blocks(x[i])``
+    element for element.  One call covers a whole structure-of-arrays
+    bucket (e.g. all sessions' planes, or all motion-shifted references)
+    instead of one ``np.pad`` per plane.
+    """
+    if planes.ndim < 2:
+        raise ValueError(f"expected (..., H, W) planes, got shape {planes.shape}")
+    *lead, height, width = planes.shape
+    rows, cols = block_grid_shape(height, width, block_size)
+    pad_h = rows * block_size - height
+    pad_w = cols * block_size - width
+    if pad_h or pad_w:
+        pad = [(0, 0)] * len(lead) + [(0, pad_h), (0, pad_w)]
+        planes = np.pad(planes, pad, mode="edge")
+    return (
+        planes.reshape(*lead, rows, block_size, cols, block_size)
+        .swapaxes(-3, -2)
+        .reshape(*lead, rows * cols, block_size, block_size)
     )
 
 

@@ -25,7 +25,12 @@ import zlib
 
 import numpy as np
 
-__all__ = ["zigzag_indices", "encode_levels", "decode_levels"]
+__all__ = [
+    "zigzag_indices",
+    "encode_levels",
+    "encode_levels_batch",
+    "decode_levels",
+]
 
 _ZIGZAG_CACHE: dict[int, np.ndarray] = {}
 
@@ -59,10 +64,88 @@ def _zigzag_key(row: int, col: int) -> tuple[int, int]:
 # ----------------------------------------------------------------------
 # Vectorized variable-length bitfield packing
 # ----------------------------------------------------------------------
+#
+# Codewords are laid out MSB-first at bit offsets given by the running
+# sum of the codeword lengths.  The fast path materializes the whole
+# ``(N, max_length)`` bit-plane matrix in one shot -- bit b of codeword
+# n lives at flat position ``offsets[n] + b`` -- and scatters it with a
+# single fancy-indexed assignment; the ``_scalar`` twins keep the
+# original one-Python-iteration-per-bit-plane loop as the reference the
+# tests pin byte-identity against.
 
 
 def _pack_bitfields(codes: np.ndarray, lengths: np.ndarray) -> bytes:
     """Concatenate variable-length codewords MSB-first into bytes."""
+    if len(codes) == 0:
+        return b""
+    codes = codes.astype(np.uint64)
+    lengths = lengths.astype(np.int64)
+    total_bits = int(lengths.sum())
+    offsets = np.zeros(len(codes), dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    max_length = int(lengths.max())
+    positions = np.arange(max_length, dtype=np.int64)
+    # Shift amounts per (codeword, bit position); positions past a
+    # codeword's length are masked out, so their clamped shift of 0 is
+    # never read.
+    shifts = lengths[:, None] - 1 - positions[None, :]
+    valid = shifts >= 0
+    np.maximum(shifts, 0, out=shifts)
+    bit_matrix = (
+        (codes[:, None] >> shifts.astype(np.uint64)) & np.uint64(1)
+    ).astype(np.uint8)
+    bits = np.zeros(total_bits, dtype=np.uint8)
+    bits[(offsets[:, None] + positions[None, :])[valid]] = bit_matrix[valid]
+    return np.packbits(bits).tobytes()
+
+
+def _pack_bitfields_segmented(
+    codes: np.ndarray, lengths: np.ndarray, counts: np.ndarray
+) -> list[bytes]:
+    """Pack consecutive codeword runs, each into its own byte stream.
+
+    ``counts[s]`` codewords belong to segment ``s``; the return value is
+    one byte string per segment, byte-identical to calling
+    :func:`_pack_bitfields` on that segment alone.  Packing runs per
+    segment on purpose: each segment's bit-plane matrix is a few
+    kilobytes and stays cache resident, whereas a single fused scatter
+    over a fleet-sized bucket spills every intermediate to memory and
+    measures *slower* than this loop.  The batched entropy coder's win
+    comes from sharing the surrounding zigzag/significance/magnitude
+    math, not from fusing the bit scatter.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    bounds = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=bounds[1:])
+    return [
+        _pack_bitfields(
+            codes[bounds[index] : bounds[index + 1]],
+            lengths[bounds[index] : bounds[index + 1]],
+        )
+        for index in range(len(counts))
+    ]
+
+
+def _unpack_bitfields(data: bytes, lengths: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_pack_bitfields` given the codeword lengths."""
+    lengths = lengths.astype(np.int64)
+    if len(lengths) == 0:
+        return np.zeros(0, dtype=np.uint64)
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+    offsets = np.zeros(len(lengths), dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    max_length = int(lengths.max())
+    positions = np.arange(max_length, dtype=np.int64)
+    shifts = lengths[:, None] - 1 - positions[None, :]
+    valid = shifts >= 0
+    np.maximum(shifts, 0, out=shifts)
+    index = np.where(valid, offsets[:, None] + positions[None, :], 0)
+    gathered = np.where(valid, bits[index], 0).astype(np.uint64)
+    return np.bitwise_or.reduce(gathered << shifts.astype(np.uint64), axis=1)
+
+
+def _pack_bitfields_scalar(codes: np.ndarray, lengths: np.ndarray) -> bytes:
+    """Reference bit-plane loop for :func:`_pack_bitfields` (tests only)."""
     if len(codes) == 0:
         return b""
     codes = codes.astype(np.uint64)
@@ -79,8 +162,8 @@ def _pack_bitfields(codes: np.ndarray, lengths: np.ndarray) -> bytes:
     return np.packbits(bits).tobytes()
 
 
-def _unpack_bitfields(data: bytes, lengths: np.ndarray) -> np.ndarray:
-    """Inverse of :func:`_pack_bitfields` given the codeword lengths."""
+def _unpack_bitfields_scalar(data: bytes, lengths: np.ndarray) -> np.ndarray:
+    """Reference bit-plane loop for :func:`_unpack_bitfields` (tests only)."""
     lengths = lengths.astype(np.int64)
     if len(lengths) == 0:
         return np.zeros(0, dtype=np.uint64)
@@ -160,6 +243,62 @@ def encode_levels(levels: np.ndarray, effort: int = 6) -> bytes:
         + len(class_blob).to_bytes(4, "little")
     )
     return header + significance_blob + class_blob + magnitude_blob
+
+
+def encode_levels_batch(stacks: np.ndarray, effort: int = 6) -> list[bytes]:
+    """Serialize ``(S, N, B, B)`` level stacks to ``S`` compressed payloads.
+
+    The structure-of-arrays twin of :func:`encode_levels`: the zigzag
+    reorder, significance bitmap, and magnitude-class math run once over
+    the whole stack.  The variable-length bit packing and the DEFLATE
+    calls stay per stack (each payload is an independent bit stream, and
+    small per-segment packs beat a fused fleet-wide scatter -- see
+    :func:`_pack_bitfields_segmented`).  Every returned payload is
+    byte-identical to ``encode_levels(stacks[s])``.
+    """
+    if stacks.ndim != 4 or stacks.shape[2] != stacks.shape[3]:
+        raise ValueError(f"expected (S, N, B, B) level stacks, got {stacks.shape}")
+    if not 1 <= effort <= 9:
+        raise ValueError("effort must be in [1, 9]")
+    num_stacks, num_blocks, block_size, _ = stacks.shape
+    zigzag = zigzag_indices(block_size)
+    flat = (
+        stacks.reshape(num_stacks, num_blocks, -1)[:, :, zigzag]
+        .transpose(0, 2, 1)
+        .reshape(num_stacks, -1)
+    )
+
+    significant = flat != 0                                    # (S, M)
+    significance_rows = np.packbits(significant, axis=1)       # (S, ceil(M/8))
+    counts = significant.sum(axis=1)
+
+    nonzero = flat[significant].astype(np.int64)               # stack-major
+    magnitudes = np.abs(nonzero)
+    signs = (nonzero < 0).astype(np.uint64)
+    bit_lengths = _bit_length(magnitudes)
+    class_streams = _pack_bitfields_segmented(
+        (bit_lengths - 1).astype(np.uint64),
+        np.full(len(nonzero), 5, dtype=np.int64),
+        counts,
+    )
+    mantissa_mask = (np.uint64(1) << (bit_lengths - 1).astype(np.uint64)) - np.uint64(1)
+    codes = ((magnitudes.astype(np.uint64) & mantissa_mask) << np.uint64(1)) | signs
+    magnitude_streams = _pack_bitfields_segmented(codes, bit_lengths, counts)
+
+    payloads = []
+    for index in range(num_stacks):
+        significance_blob = zlib.compress(significance_rows[index].tobytes(), effort)
+        class_blob = zlib.compress(class_streams[index], effort)
+        magnitude_blob = zlib.compress(magnitude_streams[index], effort)
+        header = (
+            num_blocks.to_bytes(4, "little")
+            + block_size.to_bytes(2, "little")
+            + int(counts[index]).to_bytes(4, "little")
+            + len(significance_blob).to_bytes(4, "little")
+            + len(class_blob).to_bytes(4, "little")
+        )
+        payloads.append(header + significance_blob + class_blob + magnitude_blob)
+    return payloads
 
 
 def decode_levels(data: bytes) -> np.ndarray:

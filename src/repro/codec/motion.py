@@ -12,9 +12,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.codec.blocks import split_blocks
+from repro.codec.blocks import block_grid_shape, split_blocks, split_blocks_nd
 
-__all__ = ["search_offsets", "shifted_planes", "estimate_motion", "gather_prediction"]
+__all__ = [
+    "search_offsets",
+    "shifted_planes",
+    "estimate_motion",
+    "gather_prediction",
+    "motion_batch",
+]
 
 
 def search_offsets(search_range: int) -> list[tuple[int, int]]:
@@ -87,6 +93,92 @@ def estimate_motion(
         costs[index] = np.abs(current_blocks - reference_blocks).sum(axis=(1, 2))
     mv_index = costs.argmin(axis=0)
     return mv_index.astype(np.uint8), costs[mv_index, np.arange(num_blocks)]
+
+
+def motion_batch(
+    planes: np.ndarray,
+    references: np.ndarray,
+    offsets: list[tuple[int, int]],
+    block_size: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Motion search + compensation for a stack of equal-shape planes.
+
+    The structure-of-arrays twin of ``shifted_planes`` +
+    :func:`estimate_motion` + :func:`gather_prediction`: one padded
+    slice per offset covers every plane in the stack, and one SAD
+    reduction scores all (plane, offset, block) triples.  Results are
+    byte-identical per plane to the scalar chain -- the per-block SAD
+    values are the same elementwise sums, and ``argmin`` breaks ties by
+    lowest offset index on both paths.
+
+    Args:
+        planes: ``(S, H, W)`` current planes.
+        references: ``(S, H, W)`` reference reconstructions.
+        offsets: the shared motion-search window (``search_offsets``).
+        block_size: macroblock edge length.
+
+    Returns:
+        ``(mv_index, predictor)`` -- ``(S, N)`` uint8 offset indices and
+        ``(S, N, B, B)`` predictor blocks.
+    """
+    if planes.shape != references.shape or planes.ndim != 3:
+        raise ValueError(
+            f"expected matching (S, H, W) stacks, got {planes.shape} vs "
+            f"{references.shape}"
+        )
+    num_sessions, height, width = planes.shape
+    radius = max((max(abs(dy), abs(dx)) for dy, dx in offsets), default=0)
+    padded = (
+        np.pad(references, ((0, 0), (radius, radius), (radius, radius)), mode="edge")
+        if radius
+        else references
+    )
+    # Clip-indexed gathers read each offset's blocks straight out of the
+    # radius-padded reference, already in block order.  Clipping the
+    # row/column index to the plane's last valid pixel replicates the
+    # *shifted* plane's edge -- exactly what per-plane
+    # ``np.pad(..., mode="edge")`` after slicing would produce -- and
+    # gathering in block order skips the strided plane-to-block reshape
+    # copy, which dominates at fleet scale.
+    rows, cols = block_grid_shape(height, width, block_size)
+    base_rows = np.minimum(np.arange(rows * block_size), height - 1)
+    base_cols = np.minimum(np.arange(cols * block_size), width - 1)
+    # (N, B) index templates in split_blocks' row-major block order.
+    block_rows = np.repeat(base_rows.reshape(rows, block_size), cols, axis=0)
+    block_cols = np.tile(base_cols.reshape(cols, block_size), (rows, 1))
+    current_blocks = split_blocks_nd(planes, block_size)       # (S, N, B, B)
+    num_blocks = current_blocks.shape[1]
+    if len(offsets) > 1:
+        # One offset at a time: the (S, N, B, B) scratch stays cache
+        # resident where a full (S, K, N, B, B) broadcast would thrash
+        # at fleet scale.  Per-block sums are the same elementwise
+        # |a - b| reduced over the same contiguous (B, B) axes, so
+        # costs -- and the argmin tie-break -- are bit-identical.
+        costs = np.empty((num_sessions, len(offsets), num_blocks))
+        scratch = np.empty_like(current_blocks)
+        for index, (dy, dx) in enumerate(offsets):
+            shifted = padded[
+                :,
+                (radius + dy + block_rows)[:, :, None],
+                (radius + dx + block_cols)[:, None, :],
+            ]
+            np.subtract(current_blocks, shifted, out=scratch)
+            np.abs(scratch, out=scratch)
+            costs[:, index] = scratch.sum(axis=(2, 3))
+        mv_index = costs.argmin(axis=1)                        # (S, N)
+    else:
+        mv_index = np.zeros((num_sessions, num_blocks), dtype=np.int64)
+    # One final gather re-reads only the winning blocks instead of
+    # holding every offset's block set live for a take_along_axis.
+    offset_array = np.asarray(offsets)
+    winner_rows = radius + offset_array[mv_index, 0][:, :, None] + block_rows[None]
+    winner_cols = radius + offset_array[mv_index, 1][:, :, None] + block_cols[None]
+    predictor = padded[
+        np.arange(num_sessions)[:, None, None, None],
+        winner_rows[:, :, :, None],
+        winner_cols[:, :, None, :],
+    ]
+    return mv_index.astype(np.uint8), predictor
 
 
 def gather_prediction(

@@ -26,11 +26,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.codec.blocks import merge_blocks, split_blocks
-from repro.codec.dct import forward_dct, inverse_dct
-from repro.codec.entropy import decode_levels, encode_levels
+from repro.codec.dct import inverse_dct
+from repro.codec.entropy import decode_levels
 from repro.codec.frame import EncodedFrame, FrameType, PixelFormat
 from repro.codec.motion import (
-    estimate_motion,
     gather_prediction,
     search_offsets,
     shifted_planes,
@@ -40,12 +39,17 @@ from repro.codec.quant import (
     QP_MAX_EXTENDED,
     QP_MIN,
     dequantize,
-    quantize,
     weight_matrix,
 )
 from repro.codec.rate_control import RateController
 from repro.codec.yuv import rgb_to_ycbcr, ycbcr_to_rgb
 from repro.perf.scratch import ScratchArena
+from repro.runtime.batchplane import (
+    drive_serial,
+    entropy_encode_request,
+    motion_request,
+    plane_transform_request,
+)
 
 __all__ = ["VideoCodecConfig", "VideoEncoder", "VideoDecoder"]
 
@@ -173,6 +177,28 @@ class _CodecCore:
         weights: np.ndarray | None,
         value_range: tuple[float, float],
     ) -> _PlaneCode:
+        return drive_serial(
+            self.encode_plane_steps(plane, reference, qp, weights, value_range)
+        )
+
+    def encode_plane_steps(
+        self,
+        plane: np.ndarray,
+        reference: np.ndarray | None,
+        qp: int,
+        weights: np.ndarray | None,
+        value_range: tuple[float, float],
+    ):
+        """Plane encode as a request-yielding generator.
+
+        The kernel-heavy steps -- motion search and the DCT/quant round
+        trip -- are yielded as :class:`BatchRequest` jobs so a driver
+        can resolve them per session (:func:`drive_serial`, which
+        :meth:`encode_plane` wraps) or stacked across sessions
+        (:class:`repro.runtime.batchplane.BatchPlane`).  Stream state
+        never leaves the generator, so both drivers produce the same
+        bytes by construction.
+        """
         block_size = self.config.block_size
         height, width = plane.shape
         current_blocks = split_blocks(plane, block_size)
@@ -181,20 +207,24 @@ class _CodecCore:
             predictor = np.zeros_like(current_blocks)
             mv_bytes = b""
         else:
-            shifted = self._shifted(reference)
-            if len(self._offsets) > 1:
-                mv_index, _ = estimate_motion(plane, shifted, block_size)
-            else:
-                mv_index = np.zeros(current_blocks.shape[0], dtype=np.uint8)
-            predictor = gather_prediction(shifted, mv_index, block_size)
+            (mv_index, predictor) = (
+                yield [
+                    motion_request(
+                        plane, reference, self.config.search_range, block_size, ctx=self
+                    )
+                ]
+            )[0]
             mv_bytes = zlib.compress(mv_index.tobytes(), level=self.config.effort)
 
-        scale = self._scale(qp, weights)
         residual = current_blocks - predictor
-        levels = quantize(forward_dct(residual), qp, weights, scale=scale)
-        level_bytes = encode_levels(levels, effort=self.config.effort)
+        (levels, recon_delta) = (
+            yield [plane_transform_request(residual, qp, weights, block_size, ctx=self)]
+        )[0]
+        level_bytes = (
+            yield [entropy_encode_request(levels, self.config.effort, ctx=self)]
+        )[0]
 
-        recon_blocks = predictor + inverse_dct(dequantize(levels, qp, weights, scale=scale))
+        recon_blocks = predictor + recon_delta
         reconstruction = np.clip(
             merge_blocks(recon_blocks, height, width, block_size), *value_range
         )
@@ -375,6 +405,10 @@ class VideoEncoder:
         what LiVo's sender uses to estimate encoding quality without a
         round trip (section 3.3).
         """
+        return drive_serial(self.encode_steps(image, qp, force_intra=force_intra))
+
+    def encode_steps(self, image: np.ndarray, qp: int, force_intra: bool = False):
+        """:meth:`encode` as a request-yielding generator (batch plane)."""
         if not QP_MIN <= qp <= self.config.qp_max:
             raise ValueError(
                 f"QP must be within [{QP_MIN}, {self.config.qp_max}], got {qp}"
@@ -393,12 +427,14 @@ class VideoEncoder:
                 else None
             )
             codes.append(
-                self._core.encode_plane(
-                    plane,
-                    reference,
-                    self._core.plane_qp(qp, index, pixel_format),
-                    self._core.plane_weights(index, pixel_format),
-                    value_range,
+                (
+                    yield from self._core.encode_plane_steps(
+                        plane,
+                        reference,
+                        self._core.plane_qp(qp, index, pixel_format),
+                        self._core.plane_weights(index, pixel_format),
+                        value_range,
+                    )
                 )
             )
 
@@ -429,6 +465,14 @@ class VideoEncoder:
         re-encode is attempted when the first try misses the budget badly,
         mirroring how production rate control recovers from scene changes.
         """
+        return drive_serial(
+            self.encode_to_target_steps(image, target_bytes, force_intra=force_intra)
+        )
+
+    def encode_to_target_steps(
+        self, image: np.ndarray, target_bytes: int, force_intra: bool = False
+    ):
+        """:meth:`encode_to_target` as a request-yielding generator."""
         if target_bytes <= 0:
             raise ValueError("target_bytes must be positive")
         qp = self.rate_controller.propose_qp(target_bytes)
@@ -437,12 +481,16 @@ class VideoEncoder:
         # otherwise encoder and decoder reference chains diverge.
         saved_reference = None if self._reference is None else [p.copy() for p in self._reference]
         saved_index = self._frame_index
-        frame, reconstruction = self.encode(image, qp, force_intra=force_intra)
+        frame, reconstruction = yield from self.encode_steps(
+            image, qp, force_intra=force_intra
+        )
         retry_qp = self.rate_controller.retry_qp(qp, frame.size_bytes, target_bytes)
         if retry_qp is not None:
             self._reference = saved_reference
             self._frame_index = saved_index
-            frame, reconstruction = self.encode(image, retry_qp, force_intra=force_intra)
+            frame, reconstruction = yield from self.encode_steps(
+                image, retry_qp, force_intra=force_intra
+            )
             qp = retry_qp
         self.rate_controller.update(qp, frame.size_bytes, target_bytes)
         return frame, reconstruction

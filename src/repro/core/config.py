@@ -116,6 +116,17 @@ class SessionConfig:
     batch_kernels: bool = True
     shm: bool = True
 
+    # Batch plane (repro.runtime.batchplane; see DESIGN.md section 15).
+    # Routes the in-process stream encoders through request-yielding
+    # generators whose kernel jobs are bucketed and co-batched -- color
+    # with depth within a session, and across sessions on the fleet's
+    # lockstep driver.  Byte-identical to the per-stream schedule by
+    # construction (the serial driver resolves the same requests
+    # one at a time); ``--no-batch-plane`` is the escape hatch.  With
+    # worker-hosted encoders (process executor) the flag is inert: the
+    # kernel work lives in other processes.
+    batch_plane: bool = True
+
     # Batched transport fast path (repro.transport; see DESIGN.md
     # section 10).  Simulates each frame's packet burst as one
     # vectorized link event over the cumulative-capacity trace model.

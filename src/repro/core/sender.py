@@ -39,6 +39,7 @@ from repro.obs.span import TraceContext
 from repro.prediction.culling import cull_views
 from repro.prediction.pose import Pose
 from repro.prediction.predictor import FrustumPredictor, ViewingDevice
+from repro.runtime.batchplane import interleave_steps
 from repro.runtime.executors import Executor, _LocalStatefulHandle
 from repro.runtime.workers import WorkerCrash
 from repro.tiling.tiler import TileLayout, Tiler
@@ -397,6 +398,128 @@ class LiVoSender:
             self._fall_back_to_local_encoders()
             self._on_encode_failure()
             return None
+        except Exception:
+            if tracer is not None:
+                tracer.end_span(depth_span, status="error")
+                tracer.end_span(color_span, status="error")
+            self._on_encode_failure()
+            return None
+        if tracer is not None:
+            tracer.end_span(depth_span)
+            tracer.end_span(color_span)
+        self._recover_with_intra = False
+
+        color_error: float | None = None
+        depth_error: float | None = None
+        if (
+            self.config.scheme.adaptation
+            and self._frames_processed % self.config.rmse_every_k == 0
+        ):
+            color_error = rmse(prepared.tiled_color, color_recon)
+            depth_error = rmse(prepared.tiled_depth, depth_recon) * DEPTH_RMSE_SCALE
+            self.split.update(depth_error, color_error)
+        self._frames_processed += 1
+
+        return SenderResult(
+            sequence=prepared.sequence,
+            color_frame=color_frame,
+            depth_frame=depth_frame,
+            split=self.split.split,
+            culled_points=prepared.culled_points,
+            total_points=prepared.total_points,
+            color_rmse=color_error,
+            depth_rmse=depth_error,
+            culled_multiview=prepared.culled_multiview,
+        )
+
+    def encode_steps(
+        self,
+        prepared: PreparedFrame,
+        target_rate_bps: float,
+        force_intra: bool = False,
+        fail_encode: bool = False,
+        color_budget_scale: float = 1.0,
+    ):
+        """:meth:`encode` as a request-yielding generator (batch plane).
+
+        The two stream encoders run as interleaved sub-generators, so
+        their same-shape kernel jobs land in the same bucketing round
+        and can co-batch -- across sessions on a fleet's lockstep
+        driver, and color-with-depth even within one session.  Stream
+        state, failure recovery, and the RMSE/split tail are the exact
+        code the synchronous path runs; with worker-hosted encoders
+        (process executor) the whole call falls through to
+        :meth:`encode`, since their kernel work lives in other
+        processes.
+        """
+        if self._remote_encoders:
+            return self.encode(
+                prepared,
+                target_rate_bps,
+                force_intra=force_intra,
+                fail_encode=fail_encode,
+                color_budget_scale=color_budget_scale,
+            )
+        if fail_encode:
+            self._on_encode_failure()
+            return None
+        if prepared.is_empty:
+            return SenderResult(
+                sequence=prepared.sequence,
+                color_frame=None,
+                depth_frame=None,
+                split=self.split.split,
+                culled_points=0,
+                total_points=prepared.total_points,
+                color_rmse=None,
+                depth_rmse=None,
+                culled_multiview=prepared.culled_multiview,
+                empty=True,
+            )
+        force_intra = force_intra or self._recover_with_intra
+        if self.config.scheme.adaptation:
+            budget_bytes = max(target_rate_bps / 8.0 * self.config.frame_interval_s, 2.0)
+            depth_budget, color_budget = self.split.allocate(budget_bytes)
+            if color_budget_scale < 1.0:
+                color_budget = max(color_budget * color_budget_scale, 1.0)
+            color_gen = self.color_encoder.encode_to_target_steps(
+                prepared.tiled_color, color_budget, force_intra=force_intra
+            )
+            depth_gen = self.depth_encoder.encode_to_target_steps(
+                prepared.tiled_depth, depth_budget, force_intra=force_intra
+            )
+        else:
+            color_gen = self.color_encoder.encode_steps(
+                prepared.tiled_color,
+                self.config.scheme.fixed_color_qp,
+                force_intra=force_intra,
+            )
+            depth_gen = self.depth_encoder.encode_steps(
+                prepared.tiled_depth,
+                self.config.scheme.fixed_depth_qp,
+                force_intra=force_intra,
+            )
+        tracer = self.tracer
+        color_span = depth_span = None
+        if tracer is not None:
+            parent = tracer.current()
+            parent_id = parent.span_id if parent is not None else None
+            color_span = tracer.start_span(
+                "encode:color",
+                category="kernel",
+                trace_id=prepared.sequence,
+                parent_id=parent_id,
+            )
+            depth_span = tracer.start_span(
+                "encode:depth",
+                category="kernel",
+                trace_id=prepared.sequence,
+                parent_id=parent_id,
+            )
+        try:
+            (color_frame, color_recon), (depth_frame, depth_recon) = yield from (
+                interleave_steps([color_gen, depth_gen])
+            )
         except Exception:
             if tracer is not None:
                 tracer.end_span(depth_span, status="error")

@@ -69,6 +69,7 @@ from repro.perf.shmframes import (
 )
 from repro.prediction.pose import PoseTrace
 from repro.prediction.predictor import ViewingDevice
+from repro.runtime.batchplane import BatchPlane
 from repro.runtime.executors import Executor, make_executor
 from repro.runtime.profile import merge_timings
 from repro.runtime.shm import attach_array
@@ -632,14 +633,33 @@ class LiVoSession(_SessionBase):
             tick.prepared = sender.prepare(tick.frame, horizon_s)
             return tick
 
+        # Batch plane (DESIGN.md section 15): the encode stage drives
+        # the sender's request-yielding generator so color and depth
+        # kernel jobs co-batch within a round.  Byte-identical to the
+        # direct path (the serial driver runs the same generator), so
+        # the flag only moves work between schedules.
+        batch_plane = BatchPlane(tracer) if config.batch_plane else None
+
         def do_encode(tick: _Tick) -> _Tick:
-            tick.result = sender.encode(
-                tick.prepared,
-                tick.target_rate_bps,
-                force_intra=tick.force_intra,
-                fail_encode=boundary.encode_fails(tick.sequence),
-                color_budget_scale=tick.color_budget_scale,
-            )
+            fail = boundary.encode_fails(tick.sequence)
+            if batch_plane is not None:
+                tick.result = batch_plane.run(
+                    sender.encode_steps(
+                        tick.prepared,
+                        tick.target_rate_bps,
+                        force_intra=tick.force_intra,
+                        fail_encode=fail,
+                        color_budget_scale=tick.color_budget_scale,
+                    )
+                )
+            else:
+                tick.result = sender.encode(
+                    tick.prepared,
+                    tick.target_rate_bps,
+                    force_intra=tick.force_intra,
+                    fail_encode=fail,
+                    color_budget_scale=tick.color_budget_scale,
+                )
             return tick
 
         graph = StageGraph(
@@ -1091,6 +1111,9 @@ class LiVoSession(_SessionBase):
             if quality_cache is not None:
                 cache_stats["quality_features"] = quality_cache.counters.to_dict()
             cache_stats["transport_batch"] = channel.batch_counters.to_dict()
+            if batch_plane is not None:
+                for name, counters in batch_plane.counters.items():
+                    cache_stats[counters.name] = counters.to_dict()
             report.attach_cache_stats(cache_stats)
 
         # Unified metrics registry: the older telemetry channels (cache

@@ -1,0 +1,563 @@
+"""Cross-session batch plane: lockstep SoA kernel execution (DESIGN.md §15).
+
+One fleet host ticks hundreds of conferences whose per-frame kernel
+work is *homogeneous*: every session runs the same blockwise DCT /
+quantize / motion-search calls on arrays of the same shape, differing
+only in content.  Issued per session, each call is too small to
+amortize numpy's dispatch overhead; stacked across sessions, the same
+work is a handful of large vectorized calls.
+
+The batch plane realizes that stacking without forking the codec:
+
+- codec stages are written as **request-yielding generators**
+  (:meth:`repro.codec.video.VideoEncoder.encode_steps`).  A generator
+  yields a list of :class:`BatchRequest` descriptors and receives the
+  list of results; all stream state (references, rate control, frame
+  headers) stays in the generator.
+- the **serial driver** (:func:`drive_serial`) resolves each request
+  immediately through the kernel's ``single`` path -- this *is* the
+  per-session schedule, and it is what :meth:`VideoEncoder.encode`
+  runs, so there is exactly one codec implementation.
+- the **lockstep driver** (:meth:`BatchPlane.run_lockstep`) advances
+  many generators one round at a time, buckets the outstanding
+  requests by ``(kind, key)``, executes each bucket through the
+  kernel's ``batched`` structure-of-arrays path (or ``single`` for a
+  bucket of one), and scatters results back in request order.
+
+Determinism rules (tested in tests/test_batchplane.py):
+
+1. a kernel's ``batched`` output is **byte-identical** per item to its
+   ``single`` output -- stacking may only add a leading axis to
+   elementwise/blockwise math (DCT over trailing axes, elementwise
+   quantization, per-block SAD with lowest-index argmin ties);
+2. bucket keys carry every parameter that changes the math (shape,
+   block size, QP, weight table bytes), so heterogeneous jobs are
+   never co-batched;
+3. sessions are independent -- scatter order equals request order, and
+   a bucket's execution never reads another request's stream state --
+   so lockstep results equal the serial schedule's regardless of how
+   rounds interleave across sessions;
+4. bucketed jobs still touch their stream's scratch arena tables
+   (scale memo, shift buffer), so ``--profile`` cache counters are
+   independent of batching.
+
+A kernel exception is re-raised *inside* the owning generator (via
+``generator.throw``) at the yield point, so existing skip-not-crash
+handlers (e.g. the sender's encode-failure recovery) behave as on the
+serial path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from repro.codec.blocks import block_grid_shape
+from repro.codec.dct import forward_dct, inverse_dct
+from repro.codec.entropy import encode_levels, encode_levels_batch
+from repro.codec.motion import (
+    estimate_motion,
+    gather_prediction,
+    motion_batch,
+    search_offsets,
+    shifted_planes,
+)
+from repro.codec.quant import dequantize, qp_to_step, quantize
+from repro.perf.counters import BatchCounters
+
+__all__ = [
+    "BatchRequest",
+    "BatchPlane",
+    "LockstepOutcome",
+    "drive_serial",
+    "interleave_steps",
+    "plane_transform_request",
+    "motion_request",
+    "entropy_encode_request",
+    "pointssim_features_request",
+]
+
+
+@dataclass
+class BatchRequest:
+    """One kernel job yielded by a codec generator.
+
+    Attributes:
+        kind: kernel name (``plane_transform`` / ``motion`` /
+            ``entropy_encode`` / ``pointssim_features``).
+        key: hashable bucket key; two requests may be co-batched iff
+            their ``(kind, key)`` are equal.  The key must carry every
+            parameter that changes the kernel's math.
+        payload: the kernel's positional inputs.
+        ctx: owning stream context (a ``_CodecCore`` for codec kinds)
+            giving the scalar path access to that stream's scratch
+            arena.  Never shared across a bucket's items.
+    """
+
+    kind: str
+    key: tuple
+    payload: tuple
+    ctx: object | None = None
+
+
+# ----------------------------------------------------------------------
+# Request constructors (the generators' vocabulary)
+# ----------------------------------------------------------------------
+
+
+def plane_transform_request(residual, qp, weights, block_size, ctx=None) -> BatchRequest:
+    """DCT -> quantize -> dequantize -> inverse DCT on a residual stack.
+
+    Result: ``(levels, recon_delta)``.  The block count may differ
+    across a bucket's items (blockwise ops are independent along axis
+    0), so it is deliberately absent from the key.
+    """
+    weights_key = None if weights is None else weights.tobytes()
+    return BatchRequest(
+        kind="plane_transform",
+        key=(block_size, int(qp), weights_key),
+        payload=(residual, qp, weights),
+        ctx=ctx,
+    )
+
+
+def motion_request(plane, reference, search_range, block_size, ctx=None) -> BatchRequest:
+    """Motion search + compensation of one plane against its reference.
+
+    Result: ``(mv_index, predictor)``.  Shape is in the key -- stacking
+    requires exact (H, W) agreement -- as are the search window and
+    block size.
+    """
+    return BatchRequest(
+        kind="motion",
+        key=(plane.shape, search_range, block_size),
+        payload=(plane, reference),
+        ctx=ctx,
+    )
+
+
+def entropy_encode_request(levels, effort, ctx=None) -> BatchRequest:
+    """Entropy-code one quantized level stack to its payload bytes.
+
+    Result: ``bytes``.  The full stack shape is in the key -- the
+    batched coder's shared bit-scatter pass stacks exact-shape level
+    arrays -- along with the DEFLATE effort.
+    """
+    return BatchRequest(
+        kind="entropy_encode",
+        key=(levels.shape, int(effort)),
+        payload=(levels, effort),
+        ctx=ctx,
+    )
+
+
+def pointssim_features_request(cloud, k, cache=None) -> BatchRequest:
+    """PointSSIM feature build (the KD-tree half) for one cloud.
+
+    Result: a :class:`~repro.metrics.pointssim.CloudFeatures`.  Feature
+    builds are not stackable (KD-trees are per-cloud), but a bucket
+    deduplicates by cloud object identity: a shared reference scored by
+    many sessions builds its tree once for the whole fleet.
+    """
+    return BatchRequest(
+        kind="pointssim_features",
+        key=(int(k),),
+        payload=(cloud, k, cache),
+    )
+
+
+# ----------------------------------------------------------------------
+# Kernels: a scalar path (the per-session reference) + an SoA path
+# ----------------------------------------------------------------------
+
+
+class _PlaneTransformKernel:
+    """Blockwise DCT/quant round trip, stackable along the block axis."""
+
+    name = "plane_transform"
+
+    @staticmethod
+    def _scale(request: BatchRequest):
+        """The stream's memoized quantization divisor, or a fresh one.
+
+        Routed through the request's arena even on the batched path so
+        cache counters match the serial schedule (determinism rule 4).
+        """
+        _, qp, weights = request.payload
+        core = request.ctx
+        if core is not None and getattr(core, "arena", None) is not None:
+            return core.arena.quant_scale(qp, weights)
+        step = qp_to_step(qp)
+        return step if weights is None else step * weights
+
+    def single(self, request: BatchRequest):
+        residual, qp, weights = request.payload
+        scale = self._scale(request)
+        levels = quantize(forward_dct(residual), qp, weights, scale=scale)
+        recon_delta = inverse_dct(dequantize(levels, qp, weights, scale=scale))
+        return levels, recon_delta
+
+    def batched(self, requests: list[BatchRequest]):
+        _, qp, weights = requests[0].payload
+        scales = [self._scale(request) for request in requests]
+        scale = scales[0]
+        counts = [request.payload[0].shape[0] for request in requests]
+        stacked = np.concatenate([request.payload[0] for request in requests], axis=0)
+        levels = quantize(forward_dct(stacked), qp, weights, scale=scale)
+        recon_delta = inverse_dct(dequantize(levels, qp, weights, scale=scale))
+        splits = np.cumsum(counts[:-1])
+        return list(
+            zip(np.split(levels, splits), np.split(recon_delta, splits))
+        )
+
+
+class _MotionKernel:
+    """Per-block translation search, stackable along a session axis."""
+
+    name = "motion"
+
+    @staticmethod
+    def _offsets(request: BatchRequest):
+        core = request.ctx
+        if core is not None and getattr(core, "_offsets", None) is not None:
+            return core._offsets
+        return search_offsets(request.key[1])
+
+    def single(self, request: BatchRequest):
+        plane, reference = request.payload
+        _, _, block_size = request.key
+        offsets = self._offsets(request)
+        core = request.ctx
+        arena = getattr(core, "arena", None) if core is not None else None
+        out = (
+            arena.shift_buffer(len(offsets), reference.shape)
+            if arena is not None
+            else None
+        )
+        shifted = shifted_planes(reference, offsets, out=out)
+        if len(offsets) > 1:
+            mv_index, _ = estimate_motion(plane, shifted, block_size)
+        else:
+            rows, cols = block_grid_shape(*plane.shape, block_size)
+            mv_index = np.zeros(rows * cols, dtype=np.uint8)
+        return mv_index, gather_prediction(shifted, mv_index, block_size)
+
+    def batched(self, requests: list[BatchRequest]):
+        _, _, block_size = requests[0].key
+        offsets = self._offsets(requests[0])
+        for request in requests:
+            # Keep each stream's arena counters identical to the serial
+            # schedule (the buffer itself is not needed here).
+            core = request.ctx
+            arena = getattr(core, "arena", None) if core is not None else None
+            if arena is not None:
+                arena.shift_buffer(len(offsets), request.payload[1].shape)
+        planes = np.stack([request.payload[0] for request in requests])
+        references = np.stack([request.payload[1] for request in requests])
+        mv_index, predictor = motion_batch(planes, references, offsets, block_size)
+        return [
+            (mv_index[index], predictor[index]) for index in range(len(requests))
+        ]
+
+
+class _EntropyEncodeKernel:
+    """CAVLC-style level coding, stackable along a session axis.
+
+    The batched path shares the zigzag reorder, significance bitmap,
+    and variable-length bit packing across the bucket (one scatter with
+    byte-aligned per-session segments); DEFLATE stays per session.
+    """
+
+    name = "entropy_encode"
+
+    def single(self, request: BatchRequest):
+        levels, effort = request.payload
+        return encode_levels(levels, effort=effort)
+
+    def batched(self, requests: list[BatchRequest]):
+        _, effort = requests[0].payload
+        stacked = np.stack([request.payload[0] for request in requests])
+        return encode_levels_batch(stacked, effort=effort)
+
+
+class _PointSSIMFeaturesKernel:
+    """Feature builds, deduplicated by cloud identity across a bucket."""
+
+    name = "pointssim_features"
+
+    @staticmethod
+    def _build(cloud, k, cache):
+        from repro.metrics.pointssim import precompute_features
+
+        if cache is not None:
+            return cache.features(cloud, k)
+        return precompute_features(cloud, k)
+
+    def single(self, request: BatchRequest):
+        cloud, k, cache = request.payload
+        return self._build(cloud, k, cache)
+
+    def batched(self, requests: list[BatchRequest]):
+        memo: dict[int, object] = {}
+        results = []
+        for request in requests:
+            cloud, k, cache = request.payload
+            features = memo.get(id(cloud))
+            if features is None:
+                features = self._build(cloud, k, cache)
+                memo[id(cloud)] = features
+            results.append(features)
+        return results
+
+
+KERNELS = {
+    kernel.name: kernel
+    for kernel in (
+        _PlaneTransformKernel(),
+        _MotionKernel(),
+        _EntropyEncodeKernel(),
+        _PointSSIMFeaturesKernel(),
+    )
+}
+
+
+def resolve_single(request: BatchRequest):
+    """Resolve one request through its kernel's scalar path."""
+    return KERNELS[request.kind].single(request)
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+
+
+def drive_serial(generator):
+    """Run a request-yielding generator on the per-session schedule.
+
+    Every request resolves immediately through the scalar kernel; this
+    is the reference schedule the batched plane is pinned against, and
+    the one the synchronous encoder entry points use.
+    """
+    try:
+        requests = generator.send(None)
+        while True:
+            requests = generator.send([resolve_single(r) for r in requests])
+    except StopIteration as stop:
+        return stop.value
+
+
+def interleave_steps(generators):
+    """Merge several request-yielding generators into one.
+
+    Each round concatenates the live sub-generators' request lists and
+    yields them together, so co-resident streams (e.g. one sender's
+    color and depth encoders) land in the same bucketing round.  An
+    exception thrown into the merged generator propagates to the caller
+    with the remaining sub-generators closed, matching the serial
+    failure contract (the first failing stream aborts the frame).
+
+    Returns the sub-generators' return values, in input order.
+    """
+    generators = list(generators)
+    results = [None] * len(generators)
+    live: dict[int, object] = {}
+    pending: dict[int, list] = {}
+    for index, generator in enumerate(generators):
+        try:
+            pending[index] = generator.send(None)
+            live[index] = generator
+        except StopIteration as stop:
+            results[index] = stop.value
+    while live:
+        merged: list[BatchRequest] = []
+        slices = []
+        for index, requests in pending.items():
+            slices.append((index, len(merged), len(requests)))
+            merged.extend(requests)
+        replies = yield merged
+        pending = {}
+        next_live: dict[int, object] = {}
+        for index, start, count in slices:
+            generator = live[index]
+            try:
+                pending[index] = generator.send(replies[start : start + count])
+                next_live[index] = generator
+            except StopIteration as stop:
+                results[index] = stop.value
+        live = next_live
+    return results
+
+
+@dataclass
+class _Failure:
+    """A per-item kernel failure awaiting re-raise in its generator."""
+
+    error: Exception
+
+
+@dataclass
+class LockstepOutcome:
+    """One lockstep drive: per-generator results and attributed time.
+
+    ``elapsed`` charges each generator its own resume time plus an
+    equal share of every bucket it participated in, so the entries sum
+    to the drive's wall time and per-session latency percentiles stay
+    meaningful under batching.
+    """
+
+    values: list
+    elapsed: list[float]
+    rounds: int
+
+
+class BatchPlane:
+    """The lockstep scheduler plus its per-kind accounting.
+
+    One instance serves a whole fleet run (or one session): it owns the
+    batched-vs-scalar counters surfaced as ``batchplane.*`` metrics and,
+    when a tracer is attached, emits one wall-clock ``batch`` span per
+    executed bucket (attrs: kind, jobs) for ``analyze-trace --fleet``.
+    """
+
+    def __init__(self, tracer=None) -> None:
+        self.kernels = dict(KERNELS)
+        self.counters = {
+            name: BatchCounters(f"batchplane_{name}") for name in self.kernels
+        }
+        self.rounds = 0
+        self.buckets = 0
+        self.tracer = tracer
+
+    def attach_tracer(self, tracer) -> None:
+        """Emit per-bucket ``batch`` spans into ``tracer``."""
+        self.tracer = tracer
+
+    # ------------------------------------------------------------------
+
+    def run(self, generator):
+        """Drive one generator, co-batching requests within its rounds."""
+        return self.run_lockstep([generator]).values[0]
+
+    def run_lockstep(self, generators) -> LockstepOutcome:
+        """Advance all generators in rounds, batching across them.
+
+        Scatter order equals request order per generator; a failed job
+        is re-raised inside its owning generator.  Generators finishing
+        early simply drop out of later rounds.
+        """
+        generators = list(generators)
+        count = len(generators)
+        values = [None] * count
+        elapsed = [0.0] * count
+        live: dict[int, object] = {}
+        pending: dict[int, list] = {}
+        for index, generator in enumerate(generators):
+            start = perf_counter()
+            try:
+                pending[index] = generator.send(None)
+                live[index] = generator
+            except StopIteration as stop:
+                values[index] = stop.value
+            elapsed[index] += perf_counter() - start
+        rounds = 0
+        while live:
+            rounds += 1
+            replies = {index: [None] * len(reqs) for index, reqs in pending.items()}
+            buckets: dict[tuple, list] = {}
+            for index, requests in pending.items():
+                for slot, request in enumerate(requests):
+                    buckets.setdefault((request.kind, request.key), []).append(
+                        (index, slot, request)
+                    )
+            for (kind, _), entries in buckets.items():
+                self._execute_bucket(kind, entries, replies, elapsed)
+            pending = {}
+            next_live: dict[int, object] = {}
+            for index in list(live):
+                generator = live[index]
+                outs = replies[index]
+                failure = next(
+                    (out for out in outs if isinstance(out, _Failure)), None
+                )
+                start = perf_counter()
+                try:
+                    if failure is not None:
+                        requests = generator.throw(failure.error)
+                    else:
+                        requests = generator.send(outs)
+                    pending[index] = requests
+                    next_live[index] = generator
+                except StopIteration as stop:
+                    values[index] = stop.value
+                elapsed[index] += perf_counter() - start
+            live = next_live
+        self.rounds += rounds
+        return LockstepOutcome(values=values, elapsed=elapsed, rounds=rounds)
+
+    def _execute_bucket(self, kind, entries, replies, elapsed) -> None:
+        """Run one bucket and scatter its results (or failures) back."""
+        kernel = self.kernels[kind]
+        counters = self.counters[kind]
+        self.buckets += 1
+        start = perf_counter()
+        if len(entries) == 1:
+            index, slot, request = entries[0]
+            try:
+                replies[index][slot] = kernel.single(request)
+            except Exception as error:
+                replies[index][slot] = _Failure(error)
+            counters.scalar(1)
+        else:
+            try:
+                outs = kernel.batched([request for _, _, request in entries])
+            except Exception:
+                # One odd job must not poison the bucket: retry each
+                # item on the scalar path and pin failures to owners.
+                outs = []
+                for _, _, request in entries:
+                    try:
+                        outs.append(kernel.single(request))
+                    except Exception as error:
+                        outs.append(_Failure(error))
+            for (index, slot, _), out in zip(entries, outs):
+                replies[index][slot] = out
+            counters.batch(len(entries))
+        duration = perf_counter() - start
+        share = duration / len(entries)
+        for index, _, _ in entries:
+            elapsed[index] += share
+        if self.tracer is not None:
+            self.tracer.add_span(
+                f"batch:{kind}",
+                category="batch",
+                trace_id=None,
+                start_s=start,
+                end_s=start + duration,
+                clock="wall",
+                attrs={"jobs": len(entries)},
+            )
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Per-kind batched-vs-scalar tallies plus round/bucket counts."""
+        payload = {
+            name: counters.to_dict() for name, counters in self.counters.items()
+        }
+        payload["rounds"] = self.rounds
+        payload["executed_buckets"] = self.buckets
+        return payload
+
+    def metrics_into(self, registry) -> None:
+        """Fold the plane's counters into a metrics registry.
+
+        Per-kind tallies land as ``cache.batchplane_<kind>.*`` gauges
+        (profile-table compatible); round/bucket totals as counters.
+        """
+        registry.absorb_cache_stats(
+            {f"batchplane_{name}": c.to_dict() for name, c in self.counters.items()}
+        )
+        registry.counter("batchplane.rounds").inc(self.rounds)
+        registry.counter("batchplane.buckets").inc(self.buckets)

@@ -121,11 +121,18 @@ class Stage:
         # attribute.
         self.tracer = None
         self.seq_fn = None
+        self.span_attrs = None
 
-    def attach_tracer(self, tracer, seq_fn=None) -> None:
-        """Emit one span per item under the item's frame trace."""
+    def attach_tracer(self, tracer, seq_fn=None, attrs=None) -> None:
+        """Emit one span per item under the item's frame trace.
+
+        ``attrs`` are attached to every span this stage emits -- fleet
+        runs use it to tag each conference's stages with a ``session``
+        id so ``analyze-trace --fleet`` can aggregate per session-frame.
+        """
         self.tracer = tracer
         self.seq_fn = seq_fn
+        self.span_attrs = dict(attrs) if attrs else None
 
     def add_pre_hook(self, hook) -> None:
         """Attach a boundary hook running before the stage body."""
@@ -150,6 +157,7 @@ class Stage:
                 category="stage",
                 trace_id=sequence,
                 parent_id=tracer.frame_root(sequence),
+                attrs=self.span_attrs,
             )
         try:
             for hook in self.pre_hooks:

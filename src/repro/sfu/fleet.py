@@ -25,6 +25,7 @@ session-frame:
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 from dataclasses import dataclass, field
@@ -36,9 +37,12 @@ from repro.capture.rig import default_rig
 from repro.core.config import SessionConfig
 from repro.core.sender import LiVoSender
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import CLOCK_WALL
 from repro.perf.capture import CachedFrameSource
+from repro.perf.counters import CacheCounters
 from repro.prediction.pose import user_traces_for_video
 from repro.prediction.predictor import ViewingDevice
+from repro.runtime.batchplane import BatchPlane
 from repro.runtime.executors import make_executor
 from repro.runtime.stage import Stage, StageGraph
 from repro.sfu.node import SFUNode, SFUTick
@@ -70,6 +74,17 @@ class FleetConfig:
     target_rate_bps: float = 2e6
     unicast_control: int = 4    # control conferences run unicast for the baseline
     executor_jobs: int = 1      # >1 fans per-receiver culls out on threads
+    # Cross-session batch plane (DESIGN.md section 15): tick all
+    # conferences in lockstep and coalesce their equal-shape codec
+    # kernel jobs into stacked SoA calls.  On by default (byte-identical
+    # per session to the per-session loop, pinned by session digests);
+    # ``--no-batch-plane`` on the bench is the escape hatch.
+    batch_plane: bool = True
+    # Fleet trace export: when set, every conference's stage spans are
+    # recorded (tagged with a ``session`` attribute) alongside the batch
+    # plane's lockstep bucket spans, and written as span JSONL for
+    # ``repro analyze-trace --fleet``.
+    trace_jsonl: str | None = None
 
     def __post_init__(self) -> None:
         if self.sessions <= 0 or self.frames <= 0 or self.receivers <= 0:
@@ -105,6 +120,23 @@ class FleetResult:
     sfu_wall_per_frame_ms: float
     capture_cache: dict = field(default_factory=dict)
     sfu_metrics: dict = field(default_factory=dict)
+    batch_plane: bool = False
+    batch_plane_stats: dict = field(default_factory=dict)
+    cache_stats: dict = field(default_factory=dict)
+    # One sha256 hex digest per conference over its per-tick outputs
+    # (uplink payload bytes, split, forward decisions).  Equal digests
+    # between a batch-plane run and a per-session run prove per-session
+    # byte-identity; ``fleet_digest`` in to_dict compresses them to one
+    # line for the committed JSON.
+    session_digests: list = field(default_factory=list)
+
+    @property
+    def fleet_digest(self) -> str:
+        """Order-sensitive digest of every session's output digest."""
+        rollup = hashlib.sha256()
+        for digest in self.session_digests:
+            rollup.update(digest.encode("ascii"))
+        return rollup.hexdigest()
 
     def to_dict(self) -> dict:
         return {
@@ -135,6 +167,10 @@ class FleetResult:
             },
             "capture_cache": self.capture_cache,
             "sfu_metrics": self.sfu_metrics,
+            "batch_plane": self.batch_plane,
+            "batch_plane_stats": self.batch_plane_stats,
+            "cache_stats": self.cache_stats,
+            "fleet_digest": self.fleet_digest,
         }
 
 
@@ -143,7 +179,7 @@ class _Conference:
 
     def __init__(
         self, index, rig, config, trace, pose_traces, seed, receivers,
-        churn_every, executor,
+        churn_every, executor, tracer=None,
     ):
         self.index = index
         self.rig = rig
@@ -166,30 +202,38 @@ class _Conference:
         self.uplink_bytes = 0
         self.downlink_bytes = 0
         self.receiver_frames = 0
+        self.digest = hashlib.sha256()
         self._trace_cursor = 0
         for j in range(receivers):
             self._join(f"s{index}r{j}")
 
         def uplink_stage(tick: SFUTick) -> SFUTick:
-            frustums = self.node.predicted_frustums(tick.sequence, tick.horizon_s)
-            frame = tick.frame
-            if frustums:
-                from repro.core.multiway import cull_views_union
-
-                frame = cull_views_union(
-                    tick.frame,
-                    self.rig.cameras,
-                    list(frustums.values()),
-                    cache=self.node.cull_cache,
-                )
-            tick.uplink = self.sender.process(
-                frame, tick.target_rate_bps, tick.horizon_s
-            )
+            prepared = self._cull_and_prepare(tick)
+            tick.uplink = self.sender.encode(prepared, tick.target_rate_bps)
             return tick
 
         self.graph = StageGraph(
             [Stage("sfu:uplink", uplink_stage), *self.node.stages()]
         )
+        self.tracer = tracer
+        if tracer is not None:
+            for stage in self.graph.stages:
+                stage.attach_tracer(tracer, attrs={"session": index})
+
+    def _cull_and_prepare(self, tick: SFUTick):
+        """Union-cull against the predicted frustums, then cull + tile."""
+        frustums = self.node.predicted_frustums(tick.sequence, tick.horizon_s)
+        frame = tick.frame
+        if frustums:
+            from repro.core.multiway import cull_views_union
+
+            frame = cull_views_union(
+                tick.frame,
+                self.rig.cameras,
+                list(frustums.values()),
+                cache=self.node.cull_cache,
+            )
+        return self.sender.prepare(frame, tick.horizon_s)
 
     def _join(self, name):
         self.node.add_receiver(name)
@@ -210,27 +254,82 @@ class _Conference:
         self.churn_events += 1
         return 1
 
-    def tick(self, frame, now, target_rate_bps, horizon_s) -> float:
-        """One frame for this conference; returns wall seconds spent."""
+    def _make_tick(self, frame, now, target_rate_bps, horizon_s) -> SFUTick:
+        """Fold in pose reports and build the frame's tick item."""
         for name in self.node.receiver_names:
             trace = self.node.book.get(name).extras["trace"]
             self.node.observe_pose(name, trace.pose_at_frame(frame.sequence), now)
-        tick = SFUTick(
+        return SFUTick(
             frame=frame,
             uplink=None,
             now=now,
             target_rate_bps=target_rate_bps,
             horizon_s=horizon_s,
         )
+
+    def _account(self, tick: SFUTick) -> None:
+        """Byte bookkeeping plus the session's running output digest."""
+        digest = self.digest
+        if tick.uplink is not None and tick.uplink.color_frame is not None:
+            digest.update(tick.uplink.color_frame.payload)
+            digest.update(tick.uplink.depth_frame.payload)
+            digest.update(f"{tick.uplink.split:.17g}".encode("ascii"))
+            self.uplink_bytes += tick.uplink.total_bytes
+        else:
+            digest.update(b"\x00")
+        if tick.decisions:
+            for name in sorted(tick.decisions):
+                decision = tick.decisions[name]
+                digest.update(
+                    f"{name}:{decision.rung}:{decision.kept_points}:"
+                    f"{decision.bytes}".encode("ascii")
+                )
+            self.downlink_bytes += sum(d.bytes for d in tick.decisions.values())
+        self.receiver_frames += len(self.node.receiver_names)
+
+    def tick(self, frame, now, target_rate_bps, horizon_s) -> float:
+        """One frame for this conference; returns wall seconds spent."""
+        tick = self._make_tick(frame, now, target_rate_bps, horizon_s)
         start = time.perf_counter()
         tick = self.graph.run_item(tick)
         elapsed = time.perf_counter() - start
-        if tick.uplink is not None:
-            self.uplink_bytes += tick.uplink.total_bytes
-        if tick.decisions:
-            self.downlink_bytes += sum(d.bytes for d in tick.decisions.values())
-        self.receiver_frames += len(self.node.receiver_names)
+        self._account(tick)
         return elapsed
+
+    def tick_steps(self, frame, now, target_rate_bps, horizon_s):
+        """Generator twin of :meth:`tick` for the lockstep batch driver.
+
+        Culling, tiling, and the SFU node stages run inline exactly as
+        the per-session schedule does; only the encode stage yields its
+        kernel jobs upward for cross-session bucketing.  Stage timings
+        record the generator-resident portion of the uplink stage (the
+        co-batched kernel share is attributed through the lockstep
+        outcome's per-session ``elapsed`` and visible as ``batch``
+        spans under ``analyze-trace --fleet``).
+        """
+        tick = self._make_tick(frame, now, target_rate_bps, horizon_s)
+        uplink_stage = self.graph.stages[0]
+        start = time.perf_counter()
+        prepared = self._cull_and_prepare(tick)
+        own = time.perf_counter() - start
+        if self.tracer is not None:
+            self.tracer.add_span(
+                "sfu:uplink",
+                "stage",
+                tick.sequence,
+                start_s=start,
+                end_s=start + own,
+                clock=CLOCK_WALL,
+                attrs={"session": self.index},
+            )
+        tick.uplink = yield from self.sender.encode_steps(
+            prepared, tick.target_rate_bps
+        )
+        for stage in self.graph.stages[1:]:
+            tick = stage(tick)
+        uplink_stage.timing.record(own)
+        self._account(tick)
+        return None
 
     def close(self):
         self.sender.close()
@@ -300,6 +399,12 @@ def run_fleet(fleet: FleetConfig) -> FleetResult:
         make_executor(fleet.executor_jobs, "thread") if fleet.executor_jobs > 1 else None
     )
 
+    tracer = None
+    if fleet.trace_jsonl is not None:
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer()
+
     conferences = []
     for index in range(fleet.sessions):
         conferences.append(
@@ -313,9 +418,11 @@ def run_fleet(fleet: FleetConfig) -> FleetResult:
                 receivers=fleet.receivers,
                 churn_every=fleet.churn_every,
                 executor=executor,
+                tracer=tracer,
             )
         )
 
+    batch_plane = BatchPlane(tracer) if fleet.batch_plane else None
     horizon_s = 0.1
     latencies = []
     churn_events = 0
@@ -325,10 +432,28 @@ def run_fleet(fleet: FleetConfig) -> FleetResult:
         frame = source.capture(sequence)
         for conference in conferences:
             churn_events += conference.churn(sequence)
-            latencies.append(
-                conference.tick(frame, now, fleet.target_rate_bps, horizon_s)
+        if batch_plane is None:
+            for conference in conferences:
+                latencies.append(
+                    conference.tick(frame, now, fleet.target_rate_bps, horizon_s)
+                )
+        else:
+            outcome = batch_plane.run_lockstep(
+                [
+                    conference.tick_steps(
+                        frame, now, fleet.target_rate_bps, horizon_s
+                    )
+                    for conference in conferences
+                ]
             )
+            latencies.extend(outcome.elapsed)
     wall_s = time.perf_counter() - wall_start
+
+    if tracer is not None:
+        from repro.obs.export import write_spans_jsonl
+
+        tracer.finish()
+        write_spans_jsonl(tracer.spans(), fleet.trace_jsonl)
 
     # Aggregate ``sfu.*`` metrics from a sample node (they all share the
     # metric name space; one conference's registry shows the shape).
@@ -340,9 +465,31 @@ def run_fleet(fleet: FleetConfig) -> FleetResult:
         if not name.startswith("sfu.rx.")
     }
 
+    # Fleet-wide cache stats: one merged tally per cache, so hit rates
+    # are reported once for the whole fleet rather than re-absorbed per
+    # session (which would sum 200 copies of the same gauge).  The
+    # capture counters are snapshotted HERE, before the unicast control
+    # group reuses the shared source and pollutes them.
+    capture_cache = {"capture": source.counters().to_dict()}
+    codec_scratch = CacheCounters("codec_scratch")
+    cull_projection = CacheCounters("cull_projection")
+    for conference in conferences:
+        codec_scratch.merge(conference.sender.cache_counters())
+        if conference.node.cull_cache is not None:
+            cull_projection.merge(conference.node.cull_cache.counters)
+    cache_stats = {
+        "codec_scratch": codec_scratch.to_dict(),
+        "cull_projection": cull_projection.to_dict(),
+        "capture_projection": capture_cache["capture"],
+    }
+    if batch_plane is not None:
+        for counters in batch_plane.counters.values():
+            cache_stats[counters.name] = counters.to_dict()
+
     total_uplink = sum(c.uplink_bytes for c in conferences)
     total_downlink = sum(c.downlink_bytes for c in conferences)
     receiver_frames = sum(c.receiver_frames for c in conferences)
+    session_digests = [c.digest.hexdigest() for c in conferences]
     session_frames = fleet.sessions * fleet.frames
     for conference in conferences:
         conference.close()
@@ -379,6 +526,10 @@ def run_fleet(fleet: FleetConfig) -> FleetResult:
         control_sessions=fleet.unicast_control,
         control_wall_per_frame_ms=control_ms * 1e3,
         sfu_wall_per_frame_ms=float(latencies_ms.mean()),
-        capture_cache={"capture": source.counters().to_dict()},
+        capture_cache=capture_cache,
         sfu_metrics=sample_metrics,
+        batch_plane=fleet.batch_plane,
+        batch_plane_stats=batch_plane.stats() if batch_plane is not None else {},
+        cache_stats=cache_stats,
+        session_digests=session_digests,
     )
