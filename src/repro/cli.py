@@ -153,6 +153,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-stream encode target (and SFU downlink capacity)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="host the session service (REST-ish control plane + tick workers)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8350)
+    serve.add_argument("--video", default="office1")
+    serve.add_argument("--cameras", type=int, default=2)
+    serve.add_argument(
+        "--tick-interval", type=float, default=1.0 / 30.0,
+        help="seconds between tick rounds (0 = free-running)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1,
+        help="thread fan-out for serial ticks (batch plane ignores it)",
+    )
+    serve.add_argument("--no-batch-plane", action="store_true")
+
+    # ``loadgen`` is routed in main() before this parser (its flags
+    # belong to repro.service.loadgen); registered here for --help only.
+    sub.add_parser(
+        "loadgen",
+        help="drive the session service with deterministic seeded churn "
+        "and write BENCH_service.json (see `repro loadgen --help`)",
+        add_help=False,
+    )
+
     return parser
 
 
@@ -378,6 +405,41 @@ def _cmd_multiway(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.service.app import ServiceConfig, ServiceHandle
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        video=args.video,
+        num_cameras=args.cameras,
+        tick_interval_s=args.tick_interval,
+        jobs=args.jobs,
+        batch_plane=not args.no_batch_plane,
+    )
+    handle = ServiceHandle(config).start()
+    print(
+        f"session service on http://{handle.host}:{handle.port} "
+        f"(video={args.video}, batch_plane={config.batch_plane}); Ctrl-C stops"
+    )
+    done = threading.Event()
+    signal.signal(signal.SIGINT, lambda *_: done.set())
+    signal.signal(signal.SIGTERM, lambda *_: done.set())
+    # Timed wait: the kernel may deliver the signal to a worker thread,
+    # and the tripped flag is only processed when the main thread runs
+    # bytecode — an untimed wait() would block it forever.
+    while not done.wait(0.2):
+        pass
+    print("shutting down: draining sessions...")
+    handle.stop()
+    leaked = handle.app.registry.live_drivers()
+    print(f"stopped ({leaked} leaked drivers)")
+    return 0 if leaked == 0 else 1
+
+
 _SCENARIO_FLAGS = {
     "--scenario",
     "--list-scenarios",
@@ -397,6 +459,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.scenario.cli import main as scenario_main
 
         return scenario_main(argv[1:] if argv[0] == "scenario" else argv)
+    # Loadgen owns its own flag set (repro.service.loadgen); route it
+    # before the subcommand parser so its options pass through.
+    if argv and argv[0] == "loadgen":
+        from repro.service.loadgen import main as loadgen_main
+
+        return loadgen_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "videos":
         return _cmd_videos()
@@ -412,4 +480,6 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_export(args)
     if args.command == "multiway":
         return _cmd_multiway(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -16,17 +16,27 @@ Supported pixel formats mirror the two modes LiVo uses:
   used for depth (paper section 3.2).
 """
 
-from repro.codec.frame import EncodedFrame, FrameType
-from repro.codec.quant import qp_to_step
-from repro.codec.rate_control import RateController
-from repro.codec.video import VideoCodecConfig, VideoDecoder, VideoEncoder
+# Lazy exports (PEP 562): ``repro.codec.video`` imports the batch
+# plane, which imports codec *submodules* -- an eager import here would
+# close that loop whenever the batch plane loads first (the session
+# service's worker pool does exactly that).
+_EXPORTS = {
+    "EncodedFrame": "repro.codec.frame",
+    "FrameType": "repro.codec.frame",
+    "qp_to_step": "repro.codec.quant",
+    "RateController": "repro.codec.rate_control",
+    "VideoCodecConfig": "repro.codec.video",
+    "VideoDecoder": "repro.codec.video",
+    "VideoEncoder": "repro.codec.video",
+}
 
-__all__ = [
-    "EncodedFrame",
-    "FrameType",
-    "qp_to_step",
-    "RateController",
-    "VideoCodecConfig",
-    "VideoDecoder",
-    "VideoEncoder",
-]
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.codec' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -114,6 +114,7 @@ class Histogram:
             "mean": self.mean,
             "p50": self.quantile(0.5),
             "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
             "max": self.max,
         }
 
@@ -160,6 +161,44 @@ class MetricsRegistry:
         """JSON-friendly snapshot of every metric, sorted by name."""
         with self._lock:
             return {name: self._metrics[name].to_dict() for name in sorted(self._metrics)}
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one, metric by metric.
+
+        Counters add and histograms concatenate their samples.  Gauges
+        need semantics: ``*peak`` gauges take the max (a fleet's peak is
+        the max of its sessions' peaks), every other gauge *sums* --
+        the additive reading is the fleet-wide one for occupancy-style
+        gauges (``sfu.receivers``, ``sfu.downlink.active``).  After the
+        fold, any ``<name>.hit_rate`` gauge with sibling ``<name>.hits``
+        / ``<name>.misses`` counters is recomputed from the merged
+        counts, so aggregated hit rates are exact rather than
+        last-write-wins.
+        """
+        for name in other.names():
+            metric = other.get(name)
+            if isinstance(metric, Counter):
+                self.counter(name).inc(metric.value)
+            elif isinstance(metric, Histogram):
+                self.histogram(name).observe_many(metric._samples)
+            else:
+                gauge = self.gauge(name)
+                if name.endswith("peak"):
+                    gauge.set(max(gauge.value, metric.value))
+                else:
+                    gauge.set(gauge.value + metric.value)
+        with self._lock:
+            names = list(self._metrics)
+        for name in names:
+            if not name.endswith(".hit_rate"):
+                continue
+            prefix = name[: -len(".hit_rate")]
+            with self._lock:
+                hits = self._metrics.get(f"{prefix}.hits")
+                misses = self._metrics.get(f"{prefix}.misses")
+            if isinstance(hits, Counter) and isinstance(misses, Counter):
+                total = hits.value + misses.value
+                self.gauge(name).set(hits.value / total if total else 0.0)
 
     # ------------------------------------------------------------------
     # Compatibility shims for the pre-obs telemetry channels

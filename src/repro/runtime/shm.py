@@ -38,8 +38,10 @@ Lifecycle rules:
 
 from __future__ import annotations
 
+import inspect
 import itertools
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
@@ -290,6 +292,20 @@ class ShmArena:
 
 _ATTACHED: OrderedDict[str, shared_memory.SharedMemory] = OrderedDict()
 
+# Serializes both the attach cache and the resource-tracker swap below.
+# The swap mutates a process-global; two unsynchronized attaches could
+# each save the other's shim as "original", leaving the tracker
+# permanently wrapped -- or worse, restore a window where a concurrent
+# attach IS tracked and the tracker later unlinks a segment out from
+# under its readers.
+_ATTACH_LOCK = threading.Lock()
+
+# Python 3.13+ exposes the fix directly: ``track=False`` skips the
+# resource-tracker registration without touching any global state.
+_HAS_TRACK_KWARG = (
+    "track" in inspect.signature(shared_memory.SharedMemory.__init__).parameters
+)
+
 
 def _attach(name: str) -> shared_memory.SharedMemory:
     # Python <= 3.12 registers *attachments* with the resource tracker,
@@ -298,7 +314,10 @@ def _attach(name: str) -> shared_memory.SharedMemory:
     # arena is the only unlink authority, so suppress the registration
     # for the duration of the attach.  (Unregistering afterwards is not
     # equivalent: the tracker's cache is a set, so the extra unregister
-    # unbalances the owner's and spews KeyErrors at teardown.)
+    # unbalances the owner's and spews KeyErrors at teardown.)  Callers
+    # hold _ATTACH_LOCK: the swap touches a process-wide global.
+    if _HAS_TRACK_KWARG:
+        return shared_memory.SharedMemory(name=name, track=False)
     original = resource_tracker.register
 
     def _register_except_shm(rname, rtype):
@@ -317,28 +336,31 @@ def attach_array(ref: ShmArrayRef) -> np.ndarray:
 
     The segment mapping is cached per process in a small LRU, so a
     worker touching the same segment for several arrays -- or the same
-    ref twice -- maps it exactly once.
+    ref twice -- maps it exactly once.  Thread-safe: pool threads (and
+    the service's tick workers) may attach concurrently.
     """
-    segment = _ATTACHED.get(ref.name)
-    if segment is None:
-        segment = _attach(ref.name)
-        _ATTACHED[ref.name] = segment
-        while len(_ATTACHED) > _ATTACH_CACHE_LIMIT:
-            _, oldest = _ATTACHED.popitem(last=False)
-            try:
-                oldest.close()
-            except BufferError:
-                pass  # a view is still alive; drop our handle only
-    else:
-        _ATTACHED.move_to_end(ref.name)
+    with _ATTACH_LOCK:
+        segment = _ATTACHED.get(ref.name)
+        if segment is None:
+            segment = _attach(ref.name)
+            _ATTACHED[ref.name] = segment
+            while len(_ATTACHED) > _ATTACH_CACHE_LIMIT:
+                _, oldest = _ATTACHED.popitem(last=False)
+                try:
+                    oldest.close()
+                except BufferError:
+                    pass  # a view is still alive; drop our handle only
+        else:
+            _ATTACHED.move_to_end(ref.name)
     return _view(segment, ref)
 
 
 def detach_all() -> None:
     """Close every cached attachment (tests / worker teardown)."""
-    while _ATTACHED:
-        _, segment = _ATTACHED.popitem()
-        try:
-            segment.close()
-        except BufferError:
-            pass
+    with _ATTACH_LOCK:
+        while _ATTACHED:
+            _, segment = _ATTACHED.popitem()
+            try:
+                segment.close()
+            except BufferError:
+                pass

@@ -1,0 +1,366 @@
+"""The service application: config, session factory, routes, wiring.
+
+``ServiceApp`` composes the control plane (:class:`~repro.service.
+registry.SessionRegistry` + REST-ish routes), the media plane
+(:class:`~repro.service.workers.TickWorkerPool` over shared capture /
+kernel caches), and observability (one
+:class:`~repro.obs.metrics.MetricsRegistry` feeding ``/metrics``, an
+audit log feeding ``/audit``).
+
+Routes (JSON both ways)::
+
+    GET  /healthz                      liveness + session state tally
+    GET  /metrics                      the metrics registry, rendered
+    GET  /audit?limit=N                recent lifecycle/audit events
+    POST /v1/sessions                  create  {receivers|clients, scheme, seed}
+    GET  /v1/sessions                  list
+    GET  /v1/sessions/<id>             record summary
+    GET  /v1/sessions/<id>/stats       full stats (SessionReport-shaped)
+    POST /v1/sessions/<id>/join        {client}
+    POST /v1/sessions/<id>/leave       {client}
+    POST /v1/sessions/<id>/kill        drain + reap
+
+Error mapping: unknown session -> 404, wrong lifecycle state -> 409,
+duplicate/unknown client -> 409/404, bad JSON -> 400.  A session whose
+worker crashed answers ``stats`` with 200 + ``state: dead`` -- sessions
+degrade; routes never 500 for media failures.
+
+``ServiceHandle`` runs the whole stack on a background thread with its
+own event loop so the CLI, tests, and the in-process load generator
+share one start/stop path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass
+
+from repro.service.http import HttpError, HttpRequest, HttpServer
+from repro.service.registry import (
+    LifecycleError,
+    SessionNotFound,
+    SessionRegistry,
+)
+from repro.service.workers import TickWorkerPool
+
+__all__ = ["ServiceConfig", "SessionFactory", "ServiceApp", "ServiceHandle", "SCHEME_RATES"]
+
+# The "mixed schemes" the control plane accepts: LiVo sessions pinned
+# at different encode-rate tiers.  The label rides the session record
+# (and the load generator mixes them); the number is the per-tick
+# target the worker passes to the driver.
+SCHEME_RATES = {
+    "livo-1m": 1e6,
+    "livo-2m": 2e6,
+    "livo-4m": 4e6,
+}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Shape of the hosted sessions and of the service itself."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                   # 0 = pick a free port
+    video: str = "office1"
+    # The tiled atlas embeds a 64-px sequence marker, so the cameras
+    # must tile to >= 64 px across: 2 x 32 clears it at minimum cost.
+    num_cameras: int = 2
+    camera_width: int = 32
+    camera_height: int = 16
+    sample_budget: int = 600
+    gop_size: int = 4
+    downlink_mbps: float = 4.0
+    pose_trace_frames: int = 300
+    seed: int = 0
+    batch_plane: bool = True        # co-schedule sessions on the batch plane
+    jobs: int = 1                   # >1 fans serial ticks over threads
+    tick_interval_s: float = 0.0    # 0 = free-running (benchmark mode)
+    max_clients_per_session: int = 64
+    max_sessions: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.num_cameras <= 0 or self.sample_budget <= 0:
+            raise ValueError("num_cameras/sample_budget must be positive")
+        if self.tick_interval_s < 0:
+            raise ValueError("tick_interval_s must be >= 0")
+
+
+class SessionFactory:
+    """Builds conference drivers over service-wide shared state.
+
+    One scene, rig, cached capture source, downlink trace template, and
+    pose-trace set serve every session -- the same cross-session cache
+    sharing the fleet harness exploits (one splat render per sequence
+    for the whole service).
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        from repro.capture.dataset import load_video
+        from repro.capture.rig import default_rig
+        from repro.core.config import SessionConfig
+        from repro.perf.capture import CachedFrameSource
+        from repro.prediction.pose import user_traces_for_video
+        from repro.transport.traces import constant_trace
+
+        self.config = config
+        self.session_config = SessionConfig(
+            num_cameras=config.num_cameras,
+            camera_width=config.camera_width,
+            camera_height=config.camera_height,
+            scene_sample_budget=config.sample_budget,
+            gop_size=config.gop_size,
+        )
+        _, self.scene = load_video(config.video, sample_budget=config.sample_budget)
+        self.rig = default_rig(
+            num_cameras=config.num_cameras,
+            width=config.camera_width,
+            height=config.camera_height,
+        )
+        self.source = CachedFrameSource(self.rig, self.scene)
+        self.pose_traces = user_traces_for_video(
+            config.video, config.pose_trace_frames
+        )
+        # Long-lived sessions clamp at the trace tail (PoseTrace
+        # clamps); give downlinks a long template trace too.
+        self.downlink_trace = constant_trace(
+            config.downlink_mbps, duration_s=config.pose_trace_frames / 30.0 + 10.0
+        )
+        self.executor = None  # per-driver fan-out stays off in the service
+
+    def __call__(self, index: int, seed: int, receivers: list[str],
+                 target_rate_bps: float) -> object:
+        from repro.sfu.conference import ConferenceDriver
+
+        driver = ConferenceDriver(
+            index,
+            self.rig,
+            self.session_config,
+            self.downlink_trace,
+            self.pose_traces,
+            seed=self.config.seed + seed,
+            receivers=0,                  # named clients join below
+            churn_every=1 << 30,          # service churn is HTTP-driven
+            executor=self.executor,
+        )
+        for name in receivers:
+            driver.join(name)
+        return driver
+
+
+class ServiceApp:
+    """Registry + worker pool + route table behind one handler."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        from repro.obs.metrics import MetricsRegistry
+
+        self.config = config or ServiceConfig()
+        self.metrics = MetricsRegistry()
+        self.factory = SessionFactory(self.config)
+        self.registry = SessionRegistry(
+            self.factory,
+            metrics=self.metrics,
+            max_clients_per_session=self.config.max_clients_per_session,
+        )
+        self.pool = TickWorkerPool(
+            self.registry,
+            self.factory.source,
+            batch_plane=self.config.batch_plane,
+            tick_interval_s=self.config.tick_interval_s,
+            jobs=self.config.jobs,
+        )
+        self._started_at = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start_workers(self) -> None:
+        import time
+
+        self._started_at = time.monotonic()
+        self.pool.start()
+
+    def close(self) -> None:
+        """Stop ticking, drain every session, release every worker."""
+        self.pool.stop()
+        self.registry.close()
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+
+    def handle(self, request: HttpRequest) -> tuple[int, dict]:
+        """Route one request; the HttpServer calls this on pool threads."""
+        method, path = request.method, request.path.rstrip("/") or "/"
+        if path == "/healthz" and method == "GET":
+            return self._healthz()
+        if path == "/metrics" and method == "GET":
+            return 200, self.metrics.to_dict()
+        if path == "/audit" and method == "GET":
+            limit = int(request.query.get("limit", "100"))
+            return 200, {"events": self.registry.audit_log(limit=limit)}
+        if path == "/v1/sessions":
+            if method == "POST":
+                return self._create(request)
+            if method == "GET":
+                return 200, {"sessions": self.registry.list_sessions()}
+            raise HttpError(405, f"{method} not allowed on {path}")
+        if path.startswith("/v1/sessions/"):
+            return self._session_route(method, path, request)
+        raise HttpError(404, f"no route for {method} {path}")
+
+    def _healthz(self) -> tuple[int, dict]:
+        import time
+
+        counts = self.registry.counts()
+        payload = {
+            "status": "ok" if self.pool.running else "degraded",
+            "sessions": counts,
+            "worker_rounds": self.pool.rounds,
+            "uptime_s": (
+                round(time.monotonic() - self._started_at, 3)
+                if self._started_at is not None
+                else 0.0
+            ),
+        }
+        self.metrics.gauge("service.sessions.running").set(counts["running"])
+        return (200 if self.pool.running else 503), payload
+
+    def _create(self, request: HttpRequest) -> tuple[int, dict]:
+        body = request.json()
+        scheme = body.get("scheme", "livo-2m")
+        if scheme not in SCHEME_RATES:
+            raise HttpError(
+                400, f"unknown scheme {scheme!r}; one of {sorted(SCHEME_RATES)}"
+            )
+        clients = body.get("clients")
+        if clients is not None and not (
+            isinstance(clients, list)
+            and all(isinstance(name, str) for name in clients)
+        ):
+            raise HttpError(400, "clients must be a list of strings")
+        if len(self.registry.list_sessions()) >= self.config.max_sessions:
+            raise HttpError(503, "session capacity reached")
+        record = self.registry.create(
+            receivers=int(body.get("receivers", 0)),
+            seed=body.get("seed"),
+            scheme=scheme,
+            target_rate_bps=SCHEME_RATES[scheme],
+            initial_clients=clients,
+        )
+        status = 201 if record.state == "running" else 410
+        return status, {"session": record.session_id, "state": record.state}
+
+    def _session_route(self, method: str, path: str,
+                       request: HttpRequest) -> tuple[int, dict]:
+        parts = path.split("/")  # ['', 'v1', 'sessions', id, (action)]
+        session_id = parts[3]
+        action = parts[4] if len(parts) > 4 else None
+        try:
+            if action is None and method == "GET":
+                return 200, self.registry.stats(session_id)
+            if action == "stats" and method == "GET":
+                return 200, self.registry.stats(session_id)
+            if action == "join" and method == "POST":
+                client = self._client_name(request)
+                return 200, self.registry.join(session_id, client)
+            if action == "leave" and method == "POST":
+                client = self._client_name(request)
+                return 200, self.registry.leave(session_id, client)
+            if action == "kill" and method == "POST":
+                record = self.registry.kill(session_id)
+                return 202, {"session": session_id, "state": record.state}
+        except SessionNotFound as error:
+            raise HttpError(404, f"no session {session_id}") from error
+        except LifecycleError as error:
+            raise HttpError(409, str(error)) from error
+        except ValueError as error:
+            raise HttpError(409, str(error)) from error
+        raise HttpError(404, f"no route for {method} {path}")
+
+    @staticmethod
+    def _client_name(request: HttpRequest) -> str:
+        client = request.json().get("client")
+        if not isinstance(client, str) or not client:
+            raise HttpError(400, "body must carry a non-empty 'client' string")
+        return client
+
+
+class ServiceHandle:
+    """The full service running on a background thread's event loop.
+
+    The one start/stop path shared by ``repro serve``, the in-process
+    load generator, and the tests::
+
+        handle = ServiceHandle(ServiceConfig())
+        handle.start()            # workers + HTTP listener
+        ... drive http://handle.host:handle.port ...
+        handle.stop()             # drains sessions, joins every thread
+    """
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.app = ServiceApp(self.config)
+        self.host = self.config.host
+        self.port = self.config.port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._server: HttpServer | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def start(self, timeout: float = 30.0) -> "ServiceHandle":
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        self._thread = threading.Thread(
+            target=self._run, name="service-http-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("service failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("service startup failed") from self._startup_error
+        self.app.start_workers()
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        self._server = HttpServer(
+            self.app.handle,
+            host=self.config.host,
+            port=self.config.port,
+            metrics=self.app.metrics,
+        )
+        try:
+            loop.run_until_complete(self._server.start())
+        except BaseException as error:  # port in use, bad host, ...
+            self._startup_error = error
+            self._ready.set()
+            loop.close()
+            return
+        self.port = self._server.port
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self._server.aclose())
+            loop.close()
+
+    def stop(self) -> None:
+        """Stop HTTP, drain sessions, join threads; idempotent."""
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(10.0)
+            self._thread = None
+        self.app.close()
+
+    def __enter__(self) -> "ServiceHandle":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,218 @@
+"""Tick worker pool: advances every running session, frame by frame.
+
+The media plane of the service.  One scheduler thread runs rounds; a
+round
+
+1. reaps draining sessions (closing their encoder workers),
+2. applies each running session's queued membership ops (the registry
+   mailboxes -- so HTTP joins/leaves never race the tick),
+3. ticks every running session one frame -- co-scheduled through the
+   cross-session :class:`~repro.runtime.batchplane.BatchPlane` when
+   more than one session is due (the fleet harness's lockstep SoA
+   trick, DESIGN.md section 15), per-session otherwise, optionally
+   fanned out over a thread executor (``repro.runtime.executors``),
+4. records per-session tick latency into ``service.tick_ms`` and
+   paces to ``tick_interval_s`` (0 = free-running, the benchmark
+   mode).
+
+Failure containment: a session whose tick raises is marked failed and
+drained -- the other sessions in the round are unaffected (each
+lockstep generator is wrapped in a guard that converts an escaped
+exception into a per-session outcome), and the scheduler thread never
+dies.  That is the degrade-don't-500 contract the load generator's
+chaos profile leans on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from time import perf_counter
+
+__all__ = ["TickWorkerPool"]
+
+FPS = 30.0
+
+# Scheduler idle sleep when no session is running.
+_IDLE_SLEEP_S = 0.002
+
+
+def _guarded_steps(driver, frame, now, target_rate_bps, horizon_s):
+    """Wrap ``tick_steps`` so one session's crash stays its own.
+
+    The batch plane re-raises kernel failures *inside* the owning
+    generator; anything that escapes -- including failures before the
+    first yield -- must not poison the lockstep round.  The guard turns
+    the exception into a returned outcome the round handler can map to
+    ``mark_failed``.
+    """
+    try:
+        yield from driver.tick_steps(frame, now, target_rate_bps, horizon_s)
+        return None
+    except Exception as error:  # noqa: BLE001 -- the whole point
+        return error
+
+
+class TickWorkerPool:
+    """Background scheduler ticking the registry's running sessions."""
+
+    def __init__(
+        self,
+        registry,
+        source,
+        batch_plane: bool = True,
+        tick_interval_s: float = 0.0,
+        jobs: int = 1,
+        horizon_s: float = 0.1,
+    ) -> None:
+        from repro.runtime.batchplane import BatchPlane
+        from repro.runtime.executors import make_executor
+
+        self.registry = registry
+        self.source = source
+        self.tick_interval_s = float(tick_interval_s)
+        self.horizon_s = horizon_s
+        self.plane = BatchPlane() if batch_plane else None
+        self.executor = make_executor(jobs, "thread") if jobs > 1 else None
+        self.rounds = 0
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._tick_ms = registry.metrics.histogram("service.tick_ms")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.running:
+            raise RuntimeError("worker pool already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="service-tick-pool", daemon=True
+        )
+        self._thread.start()
+
+    def wake(self) -> None:
+        """Nudge the scheduler out of its idle sleep (tests, shutdown)."""
+        self._wake.set()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the scheduler and release the executor; idempotent."""
+        self._stop.set()
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._thread.is_alive():  # pragma: no cover - watchdog only
+                raise RuntimeError("tick worker failed to stop")
+            self._thread = None
+        if self.executor is not None:
+            self.executor.close()
+
+    # ------------------------------------------------------------------
+
+    def _apply_pending_ops(self, record) -> None:
+        """Apply queued joins/leaves at the tick boundary."""
+        for op, client in self.registry.take_pending_ops(record):
+            try:
+                if op == "join":
+                    record.driver.join(client)
+                else:
+                    record.driver.leave(client)
+            except Exception as error:  # membership must never kill a tick
+                self.registry.metrics.counter("service.membership.errors").inc()
+                self.registry._audit_event(
+                    "membership_error", record.session_id, f"{op} {client}: {error}"
+                )
+
+    def _tick_one(self, record):
+        """One serial session tick; returns (error, elapsed_s)."""
+        driver = record.driver
+        sequence = driver.frames_ticked
+        try:
+            frame = self.source.capture(sequence)
+            elapsed = driver.tick(
+                frame, sequence / FPS, record.target_rate_bps, self.horizon_s
+            )
+        except Exception as error:  # noqa: BLE001
+            return error, 0.0
+        return None, elapsed
+
+    def _note_tick(self, record, elapsed: float) -> None:
+        record.frames_ticked = record.driver.frames_ticked
+        record.tick_seconds += elapsed
+        self._tick_ms.observe(elapsed * 1e3)
+        self.registry.metrics.counter("service.ticks").inc()
+
+    def run_round(self) -> int:
+        """One scheduling round; returns how many sessions ticked.
+
+        Exposed publicly so tests (and a future step-driven service
+        mode) can advance the media plane without the real-time thread.
+        """
+        for record in self.registry.draining_records():
+            self.registry.reap(record)
+        records = self.registry.running_records()
+        if not records:
+            return 0
+        for record in records:
+            self._apply_pending_ops(record)
+        self.rounds += 1
+        if self.plane is not None and len(records) > 1:
+            generators = []
+            for record in records:
+                driver = record.driver
+                frame = self.source.capture(driver.frames_ticked)
+                generators.append(
+                    _guarded_steps(
+                        driver,
+                        frame,
+                        driver.frames_ticked / FPS,
+                        record.target_rate_bps,
+                        self.horizon_s,
+                    )
+                )
+            outcome = self.plane.run_lockstep(generators)
+            for record, error, elapsed in zip(
+                records, outcome.values, outcome.elapsed
+            ):
+                if error is not None:
+                    self.registry.mark_failed(record, error)
+                else:
+                    self._note_tick(record, elapsed)
+        else:
+            if self.executor is not None and self.executor.parallel and len(records) > 1:
+                outcomes = self.executor.map(self._tick_one, records)
+            else:
+                outcomes = [self._tick_one(record) for record in records]
+            # Metrics and state moves stay on the scheduler thread --
+            # counters are plain ints, not atomics.
+            for record, (error, elapsed) in zip(records, outcomes):
+                if error is not None:
+                    self.registry.mark_failed(record, error)
+                else:
+                    self._note_tick(record, elapsed)
+        return len(records)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            started = perf_counter()
+            try:
+                ticked = self.run_round()
+            except Exception as error:  # pragma: no cover - belt and braces
+                # A round-level failure (e.g. the capture source itself
+                # broke) must not kill the scheduler thread; count it
+                # and keep serving the sessions that still work.
+                self.registry.metrics.counter("service.round.errors").inc()
+                self.registry._audit_event("round_error", "-", repr(error))
+                ticked = 0
+            if ticked == 0:
+                self._wake.wait(_IDLE_SLEEP_S)
+                self._wake.clear()
+                continue
+            if self.tick_interval_s > 0.0:
+                budget = self.tick_interval_s - (perf_counter() - started)
+                if budget > 0:
+                    time.sleep(budget)

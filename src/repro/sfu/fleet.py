@@ -35,22 +35,20 @@ import numpy as np
 from repro.capture.dataset import load_video
 from repro.capture.rig import default_rig
 from repro.core.config import SessionConfig
-from repro.core.sender import LiVoSender
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.span import CLOCK_WALL
 from repro.perf.capture import CachedFrameSource
 from repro.perf.counters import CacheCounters
 from repro.prediction.pose import user_traces_for_video
-from repro.prediction.predictor import ViewingDevice
 from repro.runtime.batchplane import BatchPlane
 from repro.runtime.executors import make_executor
-from repro.runtime.stage import Stage, StageGraph
-from repro.sfu.node import SFUNode, SFUTick
-from repro.transport.downlink import DownlinkSet
-from repro.transport.link import LinkConfig
+from repro.sfu.conference import ConferenceDriver
 from repro.transport.traces import constant_trace
 
 __all__ = ["FleetConfig", "FleetResult", "run_fleet"]
+
+# Back-compat alias: the per-conference driver moved to
+# repro.sfu.conference so the session service can share it.
+_Conference = ConferenceDriver
 
 FPS = 30.0
 
@@ -166,174 +164,15 @@ class FleetResult:
                 "unicast_control": round(self.control_wall_per_frame_ms, 3),
             },
             "capture_cache": self.capture_cache,
-            "sfu_metrics": self.sfu_metrics,
+            # Merged across every conference in the fleet (counters and
+            # occupancy gauges summed, peaks maxed, hit rates from
+            # merged counts) -- NOT a single-session sample.
+            "sfu_metrics_fleet": self.sfu_metrics,
             "batch_plane": self.batch_plane,
             "batch_plane_stats": self.batch_plane_stats,
             "cache_stats": self.cache_stats,
             "fleet_digest": self.fleet_digest,
         }
-
-
-class _Conference:
-    """One SFU conference: uplink sender + node, driven as a stage graph."""
-
-    def __init__(
-        self, index, rig, config, trace, pose_traces, seed, receivers,
-        churn_every, executor, tracer=None,
-    ):
-        self.index = index
-        self.rig = rig
-        self.config = config
-        self.churn_every = churn_every
-        self.pose_traces = pose_traces
-        self.device = ViewingDevice()
-        self.sender = LiVoSender(rig.cameras, config, self.device)
-        self.node = SFUNode(
-            rig.cameras,
-            config,
-            self.device,
-            downlinks=DownlinkSet(trace, LinkConfig(seed=seed)),
-        )
-        if executor is not None:
-            self.node.attach_executor(executor)
-        self.rng = np.random.default_rng(seed)
-        self.guest_counter = 0
-        self.churn_events = 0
-        self.uplink_bytes = 0
-        self.downlink_bytes = 0
-        self.receiver_frames = 0
-        self.digest = hashlib.sha256()
-        self._trace_cursor = 0
-        for j in range(receivers):
-            self._join(f"s{index}r{j}")
-
-        def uplink_stage(tick: SFUTick) -> SFUTick:
-            prepared = self._cull_and_prepare(tick)
-            tick.uplink = self.sender.encode(prepared, tick.target_rate_bps)
-            return tick
-
-        self.graph = StageGraph(
-            [Stage("sfu:uplink", uplink_stage), *self.node.stages()]
-        )
-        self.tracer = tracer
-        if tracer is not None:
-            for stage in self.graph.stages:
-                stage.attach_tracer(tracer, attrs={"session": index})
-
-    def _cull_and_prepare(self, tick: SFUTick):
-        """Union-cull against the predicted frustums, then cull + tile."""
-        frustums = self.node.predicted_frustums(tick.sequence, tick.horizon_s)
-        frame = tick.frame
-        if frustums:
-            from repro.core.multiway import cull_views_union
-
-            frame = cull_views_union(
-                tick.frame,
-                self.rig.cameras,
-                list(frustums.values()),
-                cache=self.node.cull_cache,
-            )
-        return self.sender.prepare(frame, tick.horizon_s)
-
-    def _join(self, name):
-        self.node.add_receiver(name)
-        trace = self.pose_traces[self._trace_cursor % len(self.pose_traces)]
-        self._trace_cursor += 1
-        self.node.book.get(name).extras["trace"] = trace
-
-    def churn(self, sequence) -> int:
-        """Maybe one join or leave this tick (seeded, deterministic)."""
-        if sequence == 0 or sequence % self.churn_every != 0:
-            return 0
-        names = self.node.receiver_names
-        if len(names) > 1 and self.rng.random() < 0.5:
-            self.node.remove_receiver(names[int(self.rng.integers(len(names)))])
-        else:
-            self.guest_counter += 1
-            self._join(f"s{self.index}g{self.guest_counter}")
-        self.churn_events += 1
-        return 1
-
-    def _make_tick(self, frame, now, target_rate_bps, horizon_s) -> SFUTick:
-        """Fold in pose reports and build the frame's tick item."""
-        for name in self.node.receiver_names:
-            trace = self.node.book.get(name).extras["trace"]
-            self.node.observe_pose(name, trace.pose_at_frame(frame.sequence), now)
-        return SFUTick(
-            frame=frame,
-            uplink=None,
-            now=now,
-            target_rate_bps=target_rate_bps,
-            horizon_s=horizon_s,
-        )
-
-    def _account(self, tick: SFUTick) -> None:
-        """Byte bookkeeping plus the session's running output digest."""
-        digest = self.digest
-        if tick.uplink is not None and tick.uplink.color_frame is not None:
-            digest.update(tick.uplink.color_frame.payload)
-            digest.update(tick.uplink.depth_frame.payload)
-            digest.update(f"{tick.uplink.split:.17g}".encode("ascii"))
-            self.uplink_bytes += tick.uplink.total_bytes
-        else:
-            digest.update(b"\x00")
-        if tick.decisions:
-            for name in sorted(tick.decisions):
-                decision = tick.decisions[name]
-                digest.update(
-                    f"{name}:{decision.rung}:{decision.kept_points}:"
-                    f"{decision.bytes}".encode("ascii")
-                )
-            self.downlink_bytes += sum(d.bytes for d in tick.decisions.values())
-        self.receiver_frames += len(self.node.receiver_names)
-
-    def tick(self, frame, now, target_rate_bps, horizon_s) -> float:
-        """One frame for this conference; returns wall seconds spent."""
-        tick = self._make_tick(frame, now, target_rate_bps, horizon_s)
-        start = time.perf_counter()
-        tick = self.graph.run_item(tick)
-        elapsed = time.perf_counter() - start
-        self._account(tick)
-        return elapsed
-
-    def tick_steps(self, frame, now, target_rate_bps, horizon_s):
-        """Generator twin of :meth:`tick` for the lockstep batch driver.
-
-        Culling, tiling, and the SFU node stages run inline exactly as
-        the per-session schedule does; only the encode stage yields its
-        kernel jobs upward for cross-session bucketing.  Stage timings
-        record the generator-resident portion of the uplink stage (the
-        co-batched kernel share is attributed through the lockstep
-        outcome's per-session ``elapsed`` and visible as ``batch``
-        spans under ``analyze-trace --fleet``).
-        """
-        tick = self._make_tick(frame, now, target_rate_bps, horizon_s)
-        uplink_stage = self.graph.stages[0]
-        start = time.perf_counter()
-        prepared = self._cull_and_prepare(tick)
-        own = time.perf_counter() - start
-        if self.tracer is not None:
-            self.tracer.add_span(
-                "sfu:uplink",
-                "stage",
-                tick.sequence,
-                start_s=start,
-                end_s=start + own,
-                clock=CLOCK_WALL,
-                attrs={"session": self.index},
-            )
-        tick.uplink = yield from self.sender.encode_steps(
-            prepared, tick.target_rate_bps
-        )
-        for stage in self.graph.stages[1:]:
-            tick = stage(tick)
-        uplink_stage.timing.record(own)
-        self._account(tick)
-        return None
-
-    def close(self):
-        self.sender.close()
-        self.node.close()
 
 
 def _run_unicast_control(fleet: FleetConfig, config, rig, source, pose_traces):
@@ -405,96 +244,111 @@ def run_fleet(fleet: FleetConfig) -> FleetResult:
 
         tracer = Tracer()
 
-    conferences = []
-    for index in range(fleet.sessions):
-        conferences.append(
-            _Conference(
-                index,
-                rig,
-                config,
-                trace,
-                pose_traces,
-                seed=fleet.seed + index,
-                receivers=fleet.receivers,
-                churn_every=fleet.churn_every,
-                executor=executor,
-                tracer=tracer,
-            )
-        )
-
-    batch_plane = BatchPlane(tracer) if fleet.batch_plane else None
-    horizon_s = 0.1
-    latencies = []
-    churn_events = 0
-    wall_start = time.perf_counter()
-    for sequence in range(fleet.frames):
-        now = sequence / FPS
-        frame = source.capture(sequence)
-        for conference in conferences:
-            churn_events += conference.churn(sequence)
-        if batch_plane is None:
-            for conference in conferences:
-                latencies.append(
-                    conference.tick(frame, now, fleet.target_rate_bps, horizon_s)
+    # Everything from driver construction to stats collection runs
+    # under one try/finally: a worker crash surfacing mid-run (or a
+    # failure building conference 151 of 200) must still release every
+    # stateful encoder worker and the executor's threads.  Without the
+    # finally, an exception used to skip every ``close()`` below and
+    # leak them all (ISSUE 10).
+    conferences: list[ConferenceDriver] = []
+    try:
+        for index in range(fleet.sessions):
+            conferences.append(
+                ConferenceDriver(
+                    index,
+                    rig,
+                    config,
+                    trace,
+                    pose_traces,
+                    seed=fleet.seed + index,
+                    receivers=fleet.receivers,
+                    churn_every=fleet.churn_every,
+                    executor=executor,
+                    tracer=tracer,
                 )
-        else:
-            outcome = batch_plane.run_lockstep(
-                [
-                    conference.tick_steps(
-                        frame, now, fleet.target_rate_bps, horizon_s
-                    )
-                    for conference in conferences
-                ]
             )
-            latencies.extend(outcome.elapsed)
-    wall_s = time.perf_counter() - wall_start
 
-    if tracer is not None:
-        from repro.obs.export import write_spans_jsonl
+        batch_plane = BatchPlane(tracer) if fleet.batch_plane else None
+        horizon_s = 0.1
+        latencies = []
+        churn_events = 0
+        wall_start = time.perf_counter()
+        for sequence in range(fleet.frames):
+            now = sequence / FPS
+            frame = source.capture(sequence)
+            for conference in conferences:
+                churn_events += conference.churn(sequence)
+            if batch_plane is None:
+                for conference in conferences:
+                    latencies.append(
+                        conference.tick(frame, now, fleet.target_rate_bps, horizon_s)
+                    )
+            else:
+                outcome = batch_plane.run_lockstep(
+                    [
+                        conference.tick_steps(
+                            frame, now, fleet.target_rate_bps, horizon_s
+                        )
+                        for conference in conferences
+                    ]
+                )
+                latencies.extend(outcome.elapsed)
+        wall_s = time.perf_counter() - wall_start
 
-        tracer.finish()
-        write_spans_jsonl(tracer.spans(), fleet.trace_jsonl)
+        if tracer is not None:
+            from repro.obs.export import write_spans_jsonl
 
-    # Aggregate ``sfu.*`` metrics from a sample node (they all share the
-    # metric name space; one conference's registry shows the shape).
-    registry = MetricsRegistry()
-    conferences[0].node.metrics_into(registry)
-    sample_metrics = {
-        name: registry.get(name).to_dict()
-        for name in registry.names()
-        if not name.startswith("sfu.rx.")
-    }
+            tracer.finish()
+            write_spans_jsonl(tracer.spans(), fleet.trace_jsonl)
 
-    # Fleet-wide cache stats: one merged tally per cache, so hit rates
-    # are reported once for the whole fleet rather than re-absorbed per
-    # session (which would sum 200 copies of the same gauge).  The
-    # capture counters are snapshotted HERE, before the unicast control
-    # group reuses the shared source and pollutes them.
-    capture_cache = {"capture": source.counters().to_dict()}
-    codec_scratch = CacheCounters("codec_scratch")
-    cull_projection = CacheCounters("cull_projection")
-    for conference in conferences:
-        codec_scratch.merge(conference.sender.cache_counters())
-        if conference.node.cull_cache is not None:
-            cull_projection.merge(conference.node.cull_cache.counters)
-    cache_stats = {
-        "codec_scratch": codec_scratch.to_dict(),
-        "cull_projection": cull_projection.to_dict(),
-        "capture_projection": capture_cache["capture"],
-    }
-    if batch_plane is not None:
-        for counters in batch_plane.counters.values():
-            cache_stats[counters.name] = counters.to_dict()
+        # Aggregate ``sfu.*`` metrics across the WHOLE fleet: counters
+        # sum, occupancy gauges sum, peaks take the max, hit rates are
+        # recomputed from merged counts (MetricsRegistry.merge).  Under
+        # churn, conference 0 is not representative -- the old
+        # single-sample snapshot silently described one session.
+        registry = MetricsRegistry()
+        for conference in conferences:
+            per_conference = MetricsRegistry()
+            conference.node.metrics_into(per_conference)
+            registry.merge(per_conference)
+        fleet_metrics = {
+            name: registry.get(name).to_dict()
+            for name in registry.names()
+            if not name.startswith("sfu.rx.")
+        }
 
-    total_uplink = sum(c.uplink_bytes for c in conferences)
-    total_downlink = sum(c.downlink_bytes for c in conferences)
-    receiver_frames = sum(c.receiver_frames for c in conferences)
-    session_digests = [c.digest.hexdigest() for c in conferences]
-    session_frames = fleet.sessions * fleet.frames
-    for conference in conferences:
-        conference.close()
-    if executor is not None:
-        executor.close()
+        # Fleet-wide cache stats: one merged tally per cache, so hit
+        # rates are reported once for the whole fleet rather than
+        # re-absorbed per session (which would sum 200 copies of the
+        # same gauge).  The capture counters are snapshotted HERE,
+        # before the unicast control group reuses the shared source and
+        # pollutes them.
+        capture_cache = {"capture": source.counters().to_dict()}
+        codec_scratch = CacheCounters("codec_scratch")
+        cull_projection = CacheCounters("cull_projection")
+        for conference in conferences:
+            codec_scratch.merge(conference.sender.cache_counters())
+            if conference.node.cull_cache is not None:
+                cull_projection.merge(conference.node.cull_cache.counters)
+        cache_stats = {
+            "codec_scratch": codec_scratch.to_dict(),
+            "cull_projection": cull_projection.to_dict(),
+            "capture_projection": capture_cache["capture"],
+        }
+        if batch_plane is not None:
+            for counters in batch_plane.counters.values():
+                cache_stats[counters.name] = counters.to_dict()
+
+        total_uplink = sum(c.uplink_bytes for c in conferences)
+        total_downlink = sum(c.downlink_bytes for c in conferences)
+        receiver_frames = sum(c.receiver_frames for c in conferences)
+        session_digests = [c.digest.hexdigest() for c in conferences]
+        session_frames = fleet.sessions * fleet.frames
+    finally:
+        for conference in conferences:
+            conference.close()
+        if executor is not None:
+            executor.close()
 
     unicast_bytes_per_frame, control_ms = _run_unicast_control(
         fleet, config, rig, source, pose_traces
@@ -527,7 +381,7 @@ def run_fleet(fleet: FleetConfig) -> FleetResult:
         control_wall_per_frame_ms=control_ms * 1e3,
         sfu_wall_per_frame_ms=float(latencies_ms.mean()),
         capture_cache=capture_cache,
-        sfu_metrics=sample_metrics,
+        sfu_metrics=fleet_metrics,
         batch_plane=fleet.batch_plane,
         batch_plane_stats=batch_plane.stats() if batch_plane is not None else {},
         cache_stats=cache_stats,

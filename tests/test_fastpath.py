@@ -288,6 +288,60 @@ class TestShmArena:
             arena.close()
             other.close()
 
+    def test_threaded_attach_storm_is_safe(self):
+        """ISSUE 10 satellite: ``_attach`` swaps a process-global
+        (``resource_tracker.register``) on Python <= 3.12; concurrent
+        attaches from pool threads must serialize on the module lock,
+        attach every segment exactly once, and leave the tracker's
+        ``register`` exactly as it found it."""
+        import threading
+        from multiprocessing import resource_tracker
+
+        from repro.runtime import shm as shm_module
+
+        original_register = resource_tracker.register
+        arena = ShmArena()
+        try:
+            arrays = [
+                np.full((8, 8), fill, dtype=np.float32) for fill in range(12)
+            ]
+            refs = [arena.share(array)[0] for array in arrays]
+            errors = []
+            barrier = threading.Barrier(8)
+
+            def storm(worker: int) -> None:
+                try:
+                    barrier.wait(5.0)
+                    for round_index in range(40):
+                        ref = refs[(worker + round_index) % len(refs)]
+                        view = attach_array(ref)
+                        expected = (worker + round_index) % len(refs)
+                        if view[0, 0] != expected:
+                            raise AssertionError(
+                                f"worker {worker} saw {view[0, 0]}, "
+                                f"wanted {expected}"
+                            )
+                except Exception as error:  # pragma: no cover - failure path
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=storm, args=(n,)) for n in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30.0)
+            assert errors == []
+            # The tracker global is restored, not left wrapped by a
+            # half-finished swap.
+            assert resource_tracker.register is original_register
+            # Each segment attached once, not once per thread.
+            assert len(shm_module._ATTACHED) <= len(refs)
+        finally:
+            detach_all()
+            arena.close()
+            assert resource_tracker.register is original_register
+
 
 # ----------------------------------------------------------------------
 # Payload codecs over the arena

@@ -1,0 +1,668 @@
+"""Session service: registry lifecycle, worker pool, HTTP, loadgen.
+
+Covers ISSUE 10's service-layer checklist: lifecycle transitions,
+concurrent create/kill races, stats consistency with the
+SessionReport naming, load-generator determinism, and graceful
+degradation when a session crashes mid-tick (degrade, never 500).
+Plus the fleet teardown regression the refactor fixed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service.registry import (
+    CREATING,
+    DEAD,
+    DRAINING,
+    RUNNING,
+    LifecycleError,
+    SessionNotFound,
+    SessionRecord,
+    SessionRegistry,
+)
+
+
+class _FakeDriver:
+    """Stands in for ConferenceDriver: same surface, no media stack."""
+
+    def __init__(self, fail_at: int | None = None) -> None:
+        self.receivers: set[str] = set()
+        self.frames_ticked = 0
+        self.uplink_bytes = 0
+        self.downlink_bytes = 0
+        self.receiver_frames = 0
+        self._closed = False
+        self.fail_at = fail_at
+
+    def join(self, name: str) -> None:
+        if name in self.receivers:
+            raise ValueError(f"duplicate receiver {name}")
+        self.receivers.add(name)
+
+    def leave(self, name: str) -> None:
+        self.receivers.remove(name)
+
+    def tick(self, frame, now, target_rate_bps, horizon_s) -> float:
+        if self.fail_at is not None and self.frames_ticked >= self.fail_at:
+            raise RuntimeError("injected tick failure")
+        self.frames_ticked += 1
+        self.uplink_bytes += 100
+        self.downlink_bytes += 50 * len(self.receivers)
+        self.receiver_frames += len(self.receivers)
+        return 0.001
+
+    def tick_steps(self, frame, now, target_rate_bps, horizon_s):
+        self.tick(frame, now, target_rate_bps, horizon_s)
+        return
+        yield  # pragma: no cover - generator shape only
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class _FakeSource:
+    def capture(self, sequence: int):
+        return ("frame", sequence)
+
+
+def _fake_factory(fail_at=None):
+    built = []
+
+    def factory(index, seed, receivers, target_rate_bps):
+        driver = _FakeDriver(fail_at=fail_at)
+        for name in receivers:
+            driver.join(name)
+        built.append(driver)
+        return driver
+
+    factory.built = built
+    return factory
+
+
+def _registry(**kwargs):
+    return SessionRegistry(_fake_factory(), **kwargs)
+
+
+def _pool(registry, **kwargs):
+    from repro.service.workers import TickWorkerPool
+
+    kwargs.setdefault("batch_plane", False)
+    return TickWorkerPool(registry, _FakeSource(), **kwargs)
+
+
+class TestRegistryLifecycle:
+    def test_create_publishes_running_record(self):
+        registry = _registry()
+        record = registry.create(receivers=2, scheme="livo-1m")
+        assert record.state == RUNNING
+        assert record.session_id == "s00000"
+        assert record.clients == {"s00000r0", "s00000r1"}
+        assert record.driver.receivers == record.clients
+        assert registry.counts()["running"] == 1
+
+    def test_kill_then_reap_walks_draining_to_dead(self):
+        registry = _registry()
+        record = registry.create(receivers=1)
+        registry.kill(record.session_id)
+        assert record.state == DRAINING
+        registry.kill(record.session_id)  # idempotent
+        assert record.state == DRAINING
+        registry.reap(record)
+        assert record.state == DEAD
+        assert record.driver.closed
+        assert registry.live_drivers() == 0
+
+    def test_illegal_transitions_raise(self):
+        registry = _registry()
+        record = registry.create(receivers=1)
+        with pytest.raises(LifecycleError):
+            registry._set_state(record, CREATING)
+        registry.kill(record.session_id)
+        registry.reap(record)
+        with pytest.raises(LifecycleError):
+            registry._set_state(record, RUNNING)
+
+    def test_join_and_leave_only_in_legal_states(self):
+        registry = _registry()
+        record = registry.create(receivers=1)
+        registry.join(record.session_id, "alice")
+        with pytest.raises(ValueError):
+            registry.join(record.session_id, "alice")  # duplicate
+        with pytest.raises(ValueError):
+            registry.leave(record.session_id, "nobody")
+        registry.kill(record.session_id)
+        with pytest.raises(LifecycleError):
+            registry.join(record.session_id, "bob")
+        # Leaving a draining session is allowed (client cleanup).
+        registry.leave(record.session_id, "alice")
+        registry.reap(record)
+        with pytest.raises(LifecycleError):
+            registry.leave(record.session_id, "s00000r0")
+
+    def test_unknown_session_raises_not_found(self):
+        registry = _registry()
+        with pytest.raises(SessionNotFound):
+            registry.stats("s99999")
+        with pytest.raises(SessionNotFound):
+            registry.kill("s99999")
+
+    def test_session_full_rejects_joins(self):
+        registry = _registry(max_clients_per_session=2)
+        record = registry.create(receivers=2)
+        with pytest.raises(LifecycleError):
+            registry.join(record.session_id, "overflow")
+
+    def test_audit_log_records_the_story(self):
+        registry = _registry()
+        record = registry.create(receivers=1)
+        registry.join(record.session_id, "alice")
+        registry.kill(record.session_id)
+        registry.reap(record)
+        events = [entry["event"] for entry in registry.audit_log()]
+        assert events == ["creating", "running", "join", "draining", "dead"]
+
+    def test_close_tears_everything_down(self):
+        registry = _registry()
+        for _ in range(3):
+            registry.create(receivers=1)
+        registry.close()
+        assert registry.counts() == {
+            "creating": 0, "running": 0, "draining": 0, "dead": 3,
+        }
+        assert registry.live_drivers() == 0
+
+
+class TestCreateKillRaces:
+    def test_kill_during_create_closes_the_unpublished_driver(self):
+        """A kill landing while the driver is being built must win."""
+        release = threading.Event()
+        built = []
+
+        def slow_factory(index, seed, receivers, target_rate_bps):
+            release.wait(5.0)
+            driver = _FakeDriver()
+            built.append(driver)
+            return driver
+
+        registry = SessionRegistry(slow_factory)
+        result = {}
+
+        def create():
+            result["record"] = registry.create(receivers=1)
+
+        thread = threading.Thread(target=create)
+        thread.start()
+        # The record is published in ``creating`` before the build.
+        for _ in range(100):
+            if registry.counts()["creating"]:
+                break
+            threading.Event().wait(0.01)
+        session_id = registry.audit_log()[0]["session"]
+        registry.kill(session_id)
+        release.set()
+        thread.join(5.0)
+        record = result["record"]
+        assert record.state == DEAD
+        assert built and built[0].closed
+        assert registry.live_drivers() == 0
+
+    def test_concurrent_creates_and_kills_never_corrupt(self):
+        registry = _registry()
+        errors = []
+
+        def churn(worker):
+            try:
+                for _ in range(10):
+                    record = registry.create(receivers=1)
+                    registry.kill(record.session_id)
+                    registry.reap(record)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=churn, args=(n,)) for n in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        assert errors == []
+        counts = registry.counts()
+        assert counts["dead"] == 40
+        assert counts["running"] == counts["draining"] == 0
+        assert registry.live_drivers() == 0
+
+
+class TestWorkerPool:
+    def test_round_ticks_running_sessions(self):
+        registry = _registry()
+        pool = _pool(registry)
+        a = registry.create(receivers=1)
+        b = registry.create(receivers=2)
+        assert pool.run_round() == 2
+        assert a.frames_ticked == b.frames_ticked == 1
+        assert registry.metrics.get("service.ticks").value == 2
+        assert registry.metrics.get("service.tick_ms").count == 2
+        pool.stop()
+
+    def test_membership_ops_apply_at_tick_boundary(self):
+        registry = _registry()
+        pool = _pool(registry)
+        record = registry.create(receivers=1)
+        registry.join(record.session_id, "alice")
+        # Queued, not yet applied to the driver.
+        assert "alice" not in record.driver.receivers
+        pool.run_round()
+        assert "alice" in record.driver.receivers
+        registry.leave(record.session_id, "alice")
+        pool.run_round()
+        assert "alice" not in record.driver.receivers
+        pool.stop()
+
+    def test_crashed_session_degrades_without_stopping_others(self):
+        factory = _fake_factory()
+
+        def mixed_factory(index, seed, receivers, target_rate_bps):
+            driver = _FakeDriver(fail_at=2 if index == 0 else None)
+            factory.built.append(driver)
+            return driver
+
+        registry = SessionRegistry(mixed_factory)
+        pool = _pool(registry)
+        doomed = registry.create()
+        healthy = registry.create()
+        for _ in range(4):
+            pool.run_round()
+        assert doomed.state == DEAD            # failed, drained, reaped
+        assert doomed.error is not None
+        assert "injected tick failure" in doomed.error
+        assert doomed.driver.closed
+        assert healthy.state == RUNNING
+        assert healthy.frames_ticked == 4
+        # Stats still answer for the dead session (degrade, not 500).
+        stats = registry.stats(doomed.session_id)
+        assert stats["state"] == "dead"
+        assert stats["error"] == doomed.error
+        pool.stop()
+
+    def test_batch_plane_isolates_a_crashing_generator(self):
+        registry = SessionRegistry(
+            lambda index, seed, receivers, target_rate_bps: _FakeDriver(
+                fail_at=0 if index == 0 else None
+            )
+        )
+        from repro.service.workers import TickWorkerPool
+
+        pool = TickWorkerPool(registry, _FakeSource(), batch_plane=True)
+        doomed = registry.create()
+        healthy = registry.create()
+        pool.run_round()
+        assert doomed.state == DRAINING
+        assert healthy.frames_ticked == 1
+        pool.stop()
+
+    def test_scheduler_thread_ticks_and_stops_cleanly(self):
+        registry = _registry()
+        pool = _pool(registry)
+        record = registry.create(receivers=1)
+        pool.start()
+        for _ in range(200):
+            if record.frames_ticked >= 3:
+                break
+            threading.Event().wait(0.01)
+        pool.stop()
+        assert record.frames_ticked >= 3
+        assert not pool.running
+        pool.stop()  # idempotent
+
+
+class TestStatsConsistency:
+    def test_stats_mirror_session_report_fields(self):
+        registry = _registry()
+        pool = _pool(registry)
+        record = registry.create(receivers=2, scheme="livo-4m")
+        for _ in range(3):
+            pool.run_round()
+        stats = registry.stats(record.session_id)
+        # The SessionReport vocabulary: scheme / duration_s / fps_target.
+        assert stats["scheme"] == "livo-4m"
+        assert stats["fps_target"] == 30.0
+        assert stats["duration_s"] == pytest.approx(3 / 30.0)
+        assert stats["frames_ticked"] == 3
+        assert stats["uplink_bytes"] == record.driver.uplink_bytes
+        assert stats["downlink_bytes"] == record.driver.downlink_bytes
+        assert stats["receiver_frames"] == record.driver.receiver_frames
+        assert stats["tick_ms_mean"] > 0.0
+        assert stats["clients"] == sorted(record.clients)
+        pool.stop()
+
+
+class TestHttpLayer:
+    def _serve(self, handler):
+        from repro.service.http import HttpServer
+
+        loop = asyncio.new_event_loop()
+        server = HttpServer(handler)
+        ready = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(server.start())
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(server.aclose())
+                loop.close()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(10.0)
+
+        def stop():
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(10.0)
+
+        return server, stop
+
+    def _request(self, server, method, path, payload=None):
+        from repro.service.http import JsonClient
+
+        async def go():
+            client = JsonClient("127.0.0.1", server.port, pool=2)
+            try:
+                return await client.request(method, path, payload)
+            finally:
+                await client.aclose()
+
+        return asyncio.run(go())
+
+    def test_round_trip_and_error_mapping(self):
+        from repro.service.http import HttpError
+
+        def handler(request):
+            if request.path == "/boom":
+                raise RuntimeError("kaboom")
+            if request.path == "/teapot":
+                raise HttpError(409, "short and stout")
+            return 200, {"echo": request.json(), "q": request.query}
+
+        server, stop = self._serve(handler)
+        try:
+            status, payload = self._request(
+                server, "POST", "/echo?x=1", {"a": [1, 2]}
+            )
+            assert status == 200
+            assert payload == {"echo": {"a": [1, 2]}, "q": {"x": "1"}}
+            status, payload = self._request(server, "GET", "/teapot")
+            assert status == 409
+            assert payload["error"] == "short and stout"
+            # Handler bugs 500 but never kill the server.
+            status, _ = self._request(server, "GET", "/boom")
+            assert status == 500
+            status, _ = self._request(server, "GET", "/echo")
+            assert status == 200
+        finally:
+            stop()
+
+    def test_keep_alive_reuses_one_connection(self):
+        def handler(request):
+            return 200, {}
+
+        server, stop = self._serve(handler)
+        try:
+            from repro.service.http import JsonClient
+
+            async def go():
+                client = JsonClient("127.0.0.1", server.port, pool=1)
+                for _ in range(5):
+                    status, _ = await client.request("GET", "/")
+                    assert status == 200
+                count = len(client._all)
+                await client.aclose()
+                return count
+
+            assert asyncio.run(go()) == 1
+        finally:
+            stop()
+
+
+class TestServiceEndToEnd:
+    """Full stack over HTTP with the real media drivers (tiny config)."""
+
+    @pytest.fixture(scope="class")
+    def handle(self):
+        from repro.service.app import ServiceConfig, ServiceHandle
+
+        config = ServiceConfig(sample_budget=400, pose_trace_frames=60)
+        with ServiceHandle(config) as handle:
+            yield handle
+        assert handle.app.registry.live_drivers() == 0
+
+    def _request(self, handle, method, path, payload=None):
+        from repro.service.http import JsonClient
+
+        async def go():
+            client = JsonClient(handle.host, handle.port, pool=2)
+            try:
+                return await client.request(method, path, payload)
+            finally:
+                await client.aclose()
+
+        return asyncio.run(go())
+
+    def test_session_life_over_http(self, handle):
+        status, created = self._request(
+            handle, "POST", "/v1/sessions",
+            {"receivers": 2, "scheme": "livo-1m", "seed": 3},
+        )
+        assert status == 201
+        session = created["session"]
+
+        status, _ = self._request(
+            handle, "POST", f"/v1/sessions/{session}/join", {"client": "alice"}
+        )
+        assert status == 200
+        # Wait until the worker has ticked the session a few frames.
+        for _ in range(500):
+            _, stats = self._request(
+                handle, "GET", f"/v1/sessions/{session}/stats"
+            )
+            if stats["frames_ticked"] >= 2:
+                break
+            threading.Event().wait(0.01)
+        assert stats["frames_ticked"] >= 2
+        assert stats["uplink_bytes"] > 0
+        assert "alice" in stats["clients"]
+
+        status, payload = self._request(
+            handle, "POST", f"/v1/sessions/{session}/kill"
+        )
+        assert status == 202
+        for _ in range(500):
+            _, stats = self._request(
+                handle, "GET", f"/v1/sessions/{session}/stats"
+            )
+            if stats["state"] == "dead":
+                break
+            threading.Event().wait(0.01)
+        assert stats["state"] == "dead"
+
+        status, health = self._request(handle, "GET", "/healthz")
+        assert status == 200 and health["status"] == "ok"
+        status, metrics = self._request(handle, "GET", "/metrics")
+        assert status == 200 and "service.tick_ms" in metrics
+
+    def test_error_statuses_over_http(self, handle):
+        status, _ = self._request(handle, "GET", "/v1/sessions/sXXXXX/stats")
+        assert status == 404
+        status, _ = self._request(handle, "GET", "/nope")
+        assert status == 404
+        status, _ = self._request(
+            handle, "POST", "/v1/sessions", {"scheme": "h264"}
+        )
+        assert status == 400
+        status, created = self._request(
+            handle, "POST", "/v1/sessions", {"clients": ["x"]}
+        )
+        assert status == 201
+        session = created["session"]
+        status, _ = self._request(
+            handle, "POST", f"/v1/sessions/{session}/join", {"client": "x"}
+        )
+        assert status == 409  # duplicate client
+        self._request(handle, "POST", f"/v1/sessions/{session}/kill")
+
+
+class TestLoadgen:
+    def test_schedule_is_deterministic_per_seed(self):
+        from repro.service.loadgen import LoadgenConfig, build_schedule
+
+        config = LoadgenConfig(
+            clients=64, receivers_per_session=8, duration_s=5.0, seed=11,
+            kill_storms=2,
+        )
+        first = build_schedule(config)
+        second = build_schedule(config)
+        assert first == second  # same seed -> same request trace
+        shifted = build_schedule(
+            LoadgenConfig(
+                clients=64, receivers_per_session=8, duration_s=5.0, seed=12,
+                kill_storms=2,
+            )
+        )
+        assert first != shifted
+
+    def test_schedule_covers_all_clients_and_storms(self):
+        from repro.service.loadgen import LoadgenConfig, build_schedule
+
+        config = LoadgenConfig(
+            clients=40, receivers_per_session=8, duration_s=4.0, seed=0,
+            kill_storms=2, kill_fraction=0.5,
+        )
+        ops = [op for slot in build_schedule(config) for op in slot]
+        kinds = {}
+        for op in ops:
+            kinds[op["op"]] = kinds.get(op["op"], 0) + 1
+        assert kinds["create"] == 5
+        assert kinds["join"] == 40
+        assert kinds["kill"] >= 2
+        assert kinds["healthz"] > 0 and kinds["stats"] > 0
+        # Joins always land at or after their session's create slot.
+        create_slot = {}
+        for index, slot in enumerate(build_schedule(config)):
+            for op in slot:
+                if op["op"] == "create":
+                    create_slot[op["session"]] = index
+        for index, slot in enumerate(build_schedule(config)):
+            for op in slot:
+                if op["op"] == "join":
+                    assert index > create_slot[op["session"]]
+
+    def test_small_run_survives_churn_without_5xx(self):
+        from repro.service.app import ServiceConfig
+        from repro.service.loadgen import LoadgenConfig, run_loadgen
+
+        result = run_loadgen(
+            LoadgenConfig(
+                clients=24, receivers_per_session=8, duration_s=2.0, seed=5,
+                kill_storms=1, kill_fraction=0.5,
+            ),
+            ServiceConfig(sample_budget=400, pose_trace_frames=60),
+        )
+        assert result.errors_5xx == 0
+        assert result.leaked_drivers == 0
+        assert result.requests_total > 30
+        assert result.final_session_counts.get("running", 1) == 0
+        assert result.final_session_counts.get("draining", 1) == 0
+
+
+class TestFleetTeardownRegression:
+    """ISSUE 10 satellite: a raising stage must not leak workers."""
+
+    def test_injected_tick_failure_still_closes_everything(self, monkeypatch):
+        import repro.sfu.fleet as fleet_module
+        from repro.sfu import FleetConfig, run_fleet
+        from repro.sfu.conference import ConferenceDriver
+
+        built = []
+
+        class _Exploding(ConferenceDriver):
+            def __init__(self, index, *args, **kwargs):
+                super().__init__(index, *args, **kwargs)
+                built.append(self)
+                self._boom = index == 1
+
+            def tick(self, frame, now, target_rate_bps, horizon_s):
+                if self._boom and self.frames_ticked >= 2:
+                    raise RuntimeError("injected stage failure")
+                return super().tick(frame, now, target_rate_bps, horizon_s)
+
+            def tick_steps(self, frame, now, target_rate_bps, horizon_s):
+                if self._boom and self.frames_ticked >= 2:
+                    raise RuntimeError("injected stage failure")
+                return super().tick_steps(
+                    frame, now, target_rate_bps, horizon_s
+                )
+
+        executors = []
+        original_make = fleet_module.make_executor
+
+        def tracking_make(jobs, kind):
+            executor = original_make(jobs, kind)
+            executors.append(executor)
+            return executor
+
+        monkeypatch.setattr(fleet_module, "ConferenceDriver", _Exploding)
+        monkeypatch.setattr(fleet_module, "make_executor", tracking_make)
+
+        config = FleetConfig(
+            sessions=3, frames=6, receivers=2, churn_every=3,
+            sample_budget=1500, unicast_control=1, executor_jobs=2,
+            batch_plane=False,
+        )
+        with pytest.raises(RuntimeError, match="injected stage failure"):
+            run_fleet(config)
+        assert len(built) == 3
+        assert all(driver.closed for driver in built)
+        assert len(executors) == 1
+        # ThreadExecutor.close() shut the pool down; submitting again
+        # must fail.
+        with pytest.raises(RuntimeError):
+            executors[0].submit(lambda: None)
+
+    def test_batch_plane_failure_also_tears_down(self, monkeypatch):
+        import repro.sfu.fleet as fleet_module
+        from repro.sfu import FleetConfig, run_fleet
+        from repro.sfu.conference import ConferenceDriver
+
+        built = []
+
+        class _Exploding(ConferenceDriver):
+            def __init__(self, index, *args, **kwargs):
+                super().__init__(index, *args, **kwargs)
+                built.append(self)
+
+            def tick_steps(self, frame, now, target_rate_bps, horizon_s):
+                if self.index == 0 and self.frames_ticked >= 1:
+                    raise RuntimeError("injected lockstep failure")
+                return super().tick_steps(
+                    frame, now, target_rate_bps, horizon_s
+                )
+
+        monkeypatch.setattr(fleet_module, "ConferenceDriver", _Exploding)
+        config = FleetConfig(
+            sessions=2, frames=5, receivers=2, churn_every=3,
+            sample_budget=1500, unicast_control=1, batch_plane=True,
+        )
+        with pytest.raises(RuntimeError, match="injected lockstep failure"):
+            run_fleet(config)
+        assert built and all(driver.closed for driver in built)

@@ -452,7 +452,11 @@ class TestFleet:
         assert result.latency_ms_p99 >= result.latency_ms_p50
         payload = result.to_dict()
         assert payload["sessions"] == 3
-        assert "sfu.frames_ingested" in payload["sfu_metrics"]
+        metrics = payload["sfu_metrics_fleet"]
+        assert "sfu.frames_ingested" in metrics
+        # Fleet-wide aggregation: ingested frames across 3 sessions x 6
+        # frames, not one sample conference's 6.
+        assert metrics["sfu.frames_ingested"]["value"] == 18
 
     def test_fleet_byte_deterministic(self):
         from repro.sfu import FleetConfig, run_fleet
